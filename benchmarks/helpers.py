@@ -1,0 +1,26 @@
+"""Shared scaffolding for the per-table/figure benchmark harness.
+
+Every benchmark regenerates one paper artefact through the experiment
+registry, times it with pytest-benchmark, prints the reproduced table
+(run with ``-s`` to see it), and asserts the headline shape against the
+paper.  Training-backed experiments run in quick mode (fewer scenes and
+iterations); pure-simulation experiments run the full scene suites.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import runner
+
+
+def run_and_report(benchmark, name: str, quick: bool = True):
+    """Benchmark one experiment and print its reproduced table."""
+    result = benchmark.pedantic(
+        runner.run_experiment,
+        args=(name,),
+        kwargs={"quick": quick},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+    return result

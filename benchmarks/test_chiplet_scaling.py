@@ -1,0 +1,11 @@
+"""Benchmark: chiplet temporal reuse vs model size (Sec. VIII)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_chiplet_scaling(benchmark):
+    result = run_and_report(benchmark, "chiplet_scaling", quick=False)
+    s = result.summary
+    assert s["overhead_monotone"] and s["area_monotone"]

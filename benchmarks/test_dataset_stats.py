@@ -1,0 +1,11 @@
+"""Benchmark: the dataset substitution-statistics audit."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_dataset_stats(benchmark):
+    result = run_and_report(benchmark, "dataset_stats", quick=False)
+    assert len(result.rows) == 15
+    assert result.summary["large_scenes_denser"]

@@ -1,0 +1,14 @@
+"""Benchmark: early-ray-termination extension study."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_ert_study(benchmark):
+    result = run_and_report(benchmark, "ert_study", quick=False)
+    s = result.summary
+    # ERT composes with occupancy gating: 2-3x further Stage II/III work
+    # reduction on dense scenes, with color error bounded by the threshold.
+    assert s["mean_stage23_speedup"] > 1.5
+    assert s["color_error_bounded"]

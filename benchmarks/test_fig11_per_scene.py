@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 11 (per-scene normalized speedup/energy)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_fig11_per_scene(benchmark):
+    result = run_and_report(benchmark, "fig11", quick=False)
+    assert len(result.rows) == 8
+    s = result.summary
+    # Paper: 47x inference / 76x training over the Jetson XNX.
+    assert s["mean_inf_speedup_vs_xnx"] == pytest.approx(47.0, rel=0.4)
+    assert s["mean_trn_speedup_vs_xnx"] == pytest.approx(76.0, rel=0.4)
+    for row in result.rows:
+        assert row["ours_inf_speedup"] > row["neurex_inf_speedup"]
+        assert row["ours_trn_speedup"] > row["instant3d_trn_speedup"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 12 (T3/T4 tiling ablations)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_fig12_tiling_ablation(benchmark):
+    result = run_and_report(benchmark, "fig12", quick=False)
+    s = result.summary
+    assert s["comm_saving"] >= 0.94   # paper: 94%
+    assert s["tiled_variance"] == 0.0  # paper: variance drops to zero
+    assert s["one_to_one_mm2"] < s["crossbar_mm2"] / 5

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 13(a) (MoE vs single-large convergence).
+
+Real training of both configurations on the Room scene; quick mode
+shortens the schedule but keeps the comparison honest (equal budgets).
+"""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_fig13a_moe_convergence(benchmark):
+    result = run_and_report(benchmark, "fig13a", quick=True)
+    s = result.summary
+    # Paper claim: the 4-expert MoE matches the large model's convergence.
+    assert s["moe_within_1db"]
+    assert abs(s["final_gap_db"]) < 1.5

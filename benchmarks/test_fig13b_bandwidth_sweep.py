@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 13(b) (bandwidth vs model size)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_fig13b_bandwidth_sweep(benchmark):
+    result = run_and_report(benchmark, "fig13b", quick=True)
+    s = result.summary
+    assert s["reduction_at_instant3d_size"] == pytest.approx(0.76, abs=0.04)
+    assert s["saved_gbps_at_instant3d_size"] == pytest.approx(44.0, rel=0.10)
+    assert s["our_bw_at_paper_config_gbps"] <= 0.6
+    gbps = [row["end_to_end_gbps"] for row in result.rows]
+    assert all(b >= a for a, b in zip(gbps, gbps[1:]))

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 14 (chiplet I/O-module area vs model size)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_fig14_chiplet_io(benchmark):
+    result = run_and_report(benchmark, "fig14", quick=False)
+    areas = [row["io_module_mm2"] for row in result.rows]
+    # Paper: I/O area must grow significantly to hold larger models at a
+    # fixed 0.6 GB/s off-package budget.
+    assert all(b >= a for a, b in zip(areas, areas[1:]))
+    assert areas[-1] > 50 * areas[0]
+    assert all(row["off_package_gbps"] == 0.6 for row in result.rows)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 3 (stage data volumes and design boundaries)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_fig3_data_volume(benchmark):
+    result = run_and_report(benchmark, "fig3", quick=False)
+    s = result.summary
+    assert s["total_intermediate_gb"] == pytest.approx(180.0, rel=0.10)
+    assert s["io_mb"] == pytest.approx(700.0, rel=0.15)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 6(d) (FIEM area/power savings)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_fig6_fiem(benchmark):
+    result = run_and_report(benchmark, "fig6", quick=False)
+    s = result.summary
+    assert s["area_saving_measured"] == pytest.approx(0.55, abs=0.02)
+    assert s["power_saving_measured"] == pytest.approx(0.65, abs=0.02)
+    assert s["max_numeric_error"] < 1e-3

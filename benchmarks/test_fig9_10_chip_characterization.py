@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figs. 9-10 (chip spec, breakdown, V-f curve)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_fig9_10_chip_characterization(benchmark):
+    result = run_and_report(benchmark, "fig9_10", quick=False)
+    s = result.summary
+    assert s["prototype_fps"] >= 30.0          # paper: 36 FPS
+    assert s["prototype_training_s"] <= 2.2    # paper: 1.8 s
+    assert s["scaled_die_mm2"] == pytest.approx(8.7, rel=0.10)
+    assert s["scaled_sram_kb"] == pytest.approx(1099, rel=0.01)
+    assert s["stage2_shared_fraction"] == pytest.approx(0.874, abs=0.01)

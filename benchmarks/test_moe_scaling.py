@@ -1,0 +1,13 @@
+"""Benchmark: final PSNR vs expert count (Fig. 13(a), observation 2)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_moe_scaling(benchmark):
+    result = run_and_report(benchmark, "moe_scaling", quick=True)
+    s = result.summary
+    # Paper: convergent PSNR improves as the number of chips increases.
+    assert s["more_experts_help"]
+    assert s["psnr_4_experts"] > s["psnr_1_expert"]

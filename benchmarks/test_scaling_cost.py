@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the Sec. II-D yield/cost motivation study."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_scaling_cost(benchmark):
+    result = run_and_report(benchmark, "scaling_cost", quick=False)
+    s = result.summary
+    assert s["scaled_rtnerf_yield"] == pytest.approx(0.72, abs=0.02)
+    assert s["per_chip_yield"] > s["monolithic_75mm2_yield"]

@@ -1,0 +1,11 @@
+"""Benchmark: Stage I dispatch-policy comparison (Fig. 5(c))."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_scheduler_study(benchmark):
+    result = run_and_report(benchmark, "scheduler_study", quick=False)
+    assert result.summary["dynamic_always_best"]
+    assert result.summary["mean_gain_vs_lockstep"] > 1.2

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the Sec. VI-C per-stage speedup breakdown."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_speedup_breakdown(benchmark):
+    result = run_and_report(benchmark, "speedup_breakdown", quick=False)
+    s = result.summary
+    # Paper: uniform 47x / 76x per-stage speedups vs the Jetson XNX.
+    assert s["inference_speedup_measured"] == pytest.approx(47.0, rel=0.4)
+    assert s["training_speedup_measured"] == pytest.approx(76.0, rel=0.4)
+    assert s["training_speedup_measured"] > s["inference_speedup_measured"]

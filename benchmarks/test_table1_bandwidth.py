@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table I (off-chip bandwidth comparison)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_table1_bandwidth(benchmark):
+    result = run_and_report(benchmark, "table1", quick=False)
+    s = result.summary
+    # Paper: this work needs 0.6 GB/s; every prior accelerator needs more
+    # than the USB budget.
+    assert s["our_requirement_gbps"] <= 0.6
+    assert s["min_prior_accelerator_gbps"] > s["usb_budget_gbps"]

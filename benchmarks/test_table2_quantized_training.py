@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table II (INT8 quantized-training quality).
+
+Functional training runs; quick mode uses two scenes at reduced
+iteration counts.  The reproduced shape: monotone PSNR degradation with
+quantization frequency and a collapse at quantize-every-iteration
+(paper: 31.7 / -1.6 / -5.7 / non-convergent).
+"""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_table2_quantized_training(benchmark):
+    result = run_and_report(benchmark, "table2", quick=True)
+    rows = {r["quantization"]: r for r in result.rows}
+    never = rows["never"]["psnr"]
+    assert rows["every 1000 iter"]["psnr"] <= never + 0.5
+    assert rows["every 200 iter"]["psnr"] < never - 2.0
+    assert rows["every iter"]["psnr"] < never - 8.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table III (single chip vs SOTA accelerators)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_table3_single_chip(benchmark):
+    result = run_and_report(benchmark, "table3", quick=False)
+    s = result.summary
+    assert s["inference_mps_measured"] == pytest.approx(591, rel=0.10)
+    assert s["training_mps_measured"] == pytest.approx(199, rel=0.10)
+    # Who-wins checks: faster than every baseline in both modes.
+    assert s["inference_speedup_vs_rtnerf"] > 1.3
+    assert s["training_speedup_vs_instant3d"] > 2.5
+    assert s["inference_energy_eff_vs_rtnerf"] > 5.0
+    assert s["training_energy_eff_vs_instant3d"] > 5.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table IV (multi-chip system vs cloud platforms)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_table4_multi_chip(benchmark):
+    result = run_and_report(benchmark, "table4", quick=False)
+    s = result.summary
+    assert s["inference_mps_per_watt_measured"] == pytest.approx(98.5, rel=0.15)
+    assert s["training_mps_per_watt_measured"] == pytest.approx(33.2, rel=0.15)
+    # Paper: 1.97x over NeuRex-Server, 332x over the 2080 Ti (training).
+    assert s["inference_tpw_vs_neurex"] > 1.5
+    assert s["training_tpw_vs_2080ti"] > 250.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table V (per-scene NeRF-360 vs RTX 2080 Ti)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_table5_nerf360(benchmark):
+    result = run_and_report(benchmark, "table5", quick=False)
+    rows = {r["scene"]: r for r in result.rows}
+    assert len(rows) == 7
+    # Shape: garden (densest) is the GPU's best case; bicycle its worst.
+    assert rows["garden"]["inf_speedup"] == min(r["inf_speedup"] for r in rows.values())
+    assert rows["bicycle"]["inf_speedup"] == max(r["inf_speedup"] for r in rows.values())
+    for row in rows.values():
+        assert 2.0 < row["inf_speedup"] < 12.0  # paper band: 3.1-9.2
+        assert 3.0 < row["trn_speedup"] < 13.0  # paper band: 5.5-8.8
+        assert row["inf_energy_eff"] > 100     # paper band: 128-380
+        assert row["trn_energy_eff"] > 150     # paper band: 229-365

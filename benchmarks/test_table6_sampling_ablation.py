@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table VI (T1 sampling ablation, all 8 scenes)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_table6_sampling_ablation(benchmark):
+    result = run_and_report(benchmark, "table6", quick=False)
+    rows = {r["scene"]: r for r in result.rows}
+    assert len(rows) == 8
+    s = result.summary
+    # Paper band: 5.4x (ship) to 20.2x (mic).
+    assert 4.0 < s["min_speedup"] < 9.0
+    assert 15.0 < s["max_speedup"] < 28.0
+    assert s["sparsest_beats_densest"]
+    assert rows["ship"]["speedup"] < rows["mic"]["speedup"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the Sec. VI-C TensoRF adaptability study."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_tensorf_adaptation(benchmark):
+    result = run_and_report(benchmark, "tensorf_adaptation", quick=True)
+    s = result.summary
+    # Paper: 4-expert MoE-TensoRF loses only ~0.5 dB vs one large model.
+    assert s["moe_preserves_quality"]

@@ -1,0 +1,12 @@
+"""Benchmark: DVFS operating points (Fig. 10(d) extension)."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_vf_scaling(benchmark):
+    result = run_and_report(benchmark, "vf_scaling", quick=False)
+    s = result.summary
+    assert s["clock_at_0.95v_mhz"] == 600
+    assert s["throughput_monotone_in_voltage"]

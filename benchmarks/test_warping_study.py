@@ -1,0 +1,17 @@
+"""Benchmark: image-warping (MetaVRain) reuse vs head motion."""
+
+import pytest
+
+from helpers import run_and_report
+
+
+def test_warping_study(benchmark):
+    result = run_and_report(benchmark, "warping_study", quick=False)
+    s = result.summary
+    # Table III footnote: warping needs >~94-97% overlap for real time;
+    # the full-pipeline renderer is motion-invariant.
+    assert s["overlap_needed_for_realtime"] > 0.9
+    assert s["fusion3d_motion_invariant"]
+    # Warping loses real time at fast head motion.
+    fast = [r for r in result.rows if r["head_motion_deg_s"] >= 240]
+    assert all(r["metavrain_realtime"] == "no" for r in fast)

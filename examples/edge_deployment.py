@@ -1,0 +1,70 @@
+"""Edge deployment study: why end-to-end acceleration fits a USB port.
+
+Walks the paper's Sec. II-B argument with the bandwidth model:
+1. the raw data volumes a 2-second training run moves (Fig. 3);
+2. what different design boundaries demand off-chip (Table I);
+3. how the requirement scales with model size, and the largest model an
+   edge device can train instantly over its USB 3.2 Gen 1 port
+   (Fig. 13(b)).
+
+Run:  python examples/edge_deployment.py
+"""
+
+from repro.core.bandwidth import BandwidthModel, WorkloadVolume
+from repro.hw.interconnect import USB_3_2_GEN1
+
+
+def main() -> None:
+    model = BandwidthModel()
+    workload = WorkloadVolume.instant_training()
+    volume = model.training_volume(workload)
+    rates = volume.rates_gbps(workload.deadline_s)
+
+    print("=== Data volumes of a 2-second instant-training run (Fig. 3) ===")
+    print(f"  inter-stage intermediate data: {volume.inter_stage_bytes / 1e9:6.1f} GB"
+          f"  ({rates['inter_stage']:.1f} GB/s)")
+    print(f"  intra-stage intermediate data: {volume.intra_stage_bytes / 1e9:6.1f} GB"
+          f"  ({rates['intra_stage']:.1f} GB/s)")
+    print(f"  true pipeline I/O:             {volume.io_bytes / 1e9:6.2f} GB"
+          f"  ({rates['io']:.2f} GB/s)")
+
+    print()
+    print("=== Off-chip bandwidth by design boundary (Table I) ===")
+    paper_table = model.table_bytes(14)
+    boundaries = [
+        ("partial pipeline, tables off-chip (Instant-3D-class)", dict(
+            table_bytes=(2**16 + 2**18) * 2 * 2 * 8,
+            on_chip_feature_bytes=1536 * 1024,
+            end_to_end=False,
+        )),
+        ("partial pipeline, paper-size tables", dict(
+            table_bytes=paper_table, end_to_end=False,
+        )),
+        ("end-to-end, paper-size tables (this work)", dict(
+            table_bytes=paper_table, end_to_end=True,
+        )),
+    ]
+    for name, kwargs in boundaries:
+        bw = model.required_training_bandwidth_gbps(workload, **kwargs)
+        verdict = "fits USB" if bw <= USB_3_2_GEN1.bandwidth_gbps else "needs DRAM"
+        print(f"  {name:55s} {bw:7.2f} GB/s  [{verdict}]")
+
+    print()
+    print("=== Model-size sweep at the USB budget (Fig. 13(b)) ===")
+    largest_fitting = None
+    for log2_table in range(12, 21):
+        table_bytes = model.table_bytes(log2_table)
+        bw = model.required_training_bandwidth_gbps(workload, table_bytes)
+        fits = bw <= USB_3_2_GEN1.bandwidth_gbps
+        if fits:
+            largest_fitting = log2_table
+        marker = "<= USB" if fits else ""
+        print(f"  2^{log2_table:2d} per level ({table_bytes / 1024:7.0f} KB): "
+              f"{bw:7.2f} GB/s  {marker}")
+    print()
+    print(f"Largest instantly-trainable model over USB: 2^{largest_fitting} "
+          "entries per level — the paper's configuration is 2^14.")
+
+
+if __name__ == "__main__":
+    main()

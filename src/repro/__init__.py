@@ -1,0 +1,30 @@
+"""Fusion-3D reproduction: end-to-end NeRF acceleration in simulation.
+
+A full-system reproduction of *Fusion-3D: Integrated Acceleration for
+Instant 3D Reconstruction and Real-Time Rendering* (MICRO 2024):
+
+* :mod:`repro.nerf` — the NeRF algorithms (Instant-NGP in pure NumPy with
+  hand-written gradients, MoE decomposition, quantized training);
+* :mod:`repro.datasets` — procedural stand-ins for NeRF-Synthetic and
+  NeRF-360;
+* :mod:`repro.hw` — 28 nm technology, FIEM arithmetic, SRAM/NoC/link and
+  area/energy/yield models;
+* :mod:`repro.sim` — the cycle-level chip and multi-chip simulators;
+* :mod:`repro.baselines` — published-spec models of the compared GPUs and
+  accelerators;
+* :mod:`repro.core` — the :class:`~repro.core.Fusion3D` facade, bandwidth
+  accounting, and reporting helpers;
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+from .core import Fusion3D, Fusion3DConfig, ReconstructionResult, RenderingResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Fusion3D",
+    "Fusion3DConfig",
+    "ReconstructionResult",
+    "RenderingResult",
+    "__version__",
+]

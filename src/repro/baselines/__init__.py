@@ -1,0 +1,52 @@
+"""Baseline platform models: published specs plus analytical per-scene
+performance models for the GPUs and prior NeRF accelerators the paper
+compares against."""
+
+from .specs import (
+    PlatformSpec,
+    JETSON_NANO,
+    JETSON_XNX,
+    RTX_2080TI,
+    RT_NERF_EDGE,
+    RT_NERF_CLOUD,
+    INSTANT_3D,
+    NEUREX_EDGE,
+    NEUREX_SERVER,
+    METAVRAIN,
+    NGPC,
+    GEN_NERF,
+    TABLE1_ACCELERATORS,
+    TABLE3_BASELINES,
+    TABLE4_BASELINES,
+    ALL_BASELINES,
+    EDGE_PLATFORM_BANDWIDTH_GBPS,
+)
+from .gpu import GpuModel, GpuModelConfig
+from .accelerators import AcceleratorModel, AcceleratorModelConfig
+from .warping import ImageWarpingModel, WarpingModelConfig
+
+__all__ = [
+    "PlatformSpec",
+    "JETSON_NANO",
+    "JETSON_XNX",
+    "RTX_2080TI",
+    "RT_NERF_EDGE",
+    "RT_NERF_CLOUD",
+    "INSTANT_3D",
+    "NEUREX_EDGE",
+    "NEUREX_SERVER",
+    "METAVRAIN",
+    "NGPC",
+    "GEN_NERF",
+    "TABLE1_ACCELERATORS",
+    "TABLE3_BASELINES",
+    "TABLE4_BASELINES",
+    "ALL_BASELINES",
+    "EDGE_PLATFORM_BANDWIDTH_GBPS",
+    "GpuModel",
+    "GpuModelConfig",
+    "AcceleratorModel",
+    "AcceleratorModelConfig",
+    "ImageWarpingModel",
+    "WarpingModelConfig",
+]

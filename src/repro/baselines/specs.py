@@ -1,0 +1,275 @@
+"""Published specifications of the baseline platforms.
+
+These are the numbers the paper itself compares against (Tables I, III
+and IV) — reported by the respective publications, or estimated by the
+Fusion-3D authors where the original paper did not report them (marked
+``estimated``).  Fields that a platform does not support or report are
+``None``, matching the N/S and N/R entries of the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One row of the paper's comparison tables."""
+
+    name: str
+    venue: str
+    kind: str  # "gpu", "accelerator", or "this-work"
+    process_nm: int = None
+    die_mm2: float = None
+    clock_mhz: float = None
+    sram_kb: float = None
+    core_voltage_v: float = None
+    algorithm: str = None
+    silicon_prototype: bool = False
+    supports_training: bool = False
+    instant_training: bool = False
+    realtime_inference: bool = False
+    end_to_end: bool = False
+    #: Throughputs in million sampled points per second (Table III metric).
+    inference_mps: float = None
+    training_mps: float = None
+    #: Energy per sampled point, nanojoules.
+    inference_nj_per_point: float = None
+    training_nj_per_point: float = None
+    off_chip_bandwidth_gbps: float = None
+    typical_power_w: float = None
+    estimated: bool = False
+
+    @property
+    def inference_mps_per_watt(self) -> float:
+        """Throughput per watt (Table IV metric), M points/s/W."""
+        if self.inference_mps is None or not self.typical_power_w:
+            return None
+        return self.inference_mps / self.typical_power_w
+
+    @property
+    def training_mps_per_watt(self) -> float:
+        if self.training_mps is None or not self.typical_power_w:
+            return None
+        return self.training_mps / self.typical_power_w
+
+
+JETSON_NANO = PlatformSpec(
+    name="Nvidia Jetson Nano",
+    venue="product",
+    kind="gpu",
+    process_nm=20,
+    die_mm2=118.0,
+    clock_mhz=900.0,
+    sram_kb=2500.0,
+    algorithm="hash-grid",
+    supports_training=True,
+    end_to_end=True,
+    inference_mps=2.5,
+    training_mps=0.5,
+    inference_nj_per_point=192.0,
+    training_nj_per_point=943.0,
+    off_chip_bandwidth_gbps=25.6,
+    typical_power_w=10.0,
+)
+
+JETSON_XNX = PlatformSpec(
+    name="Nvidia Jetson XNX",
+    venue="product",
+    kind="gpu",
+    process_nm=12,
+    die_mm2=350.0,
+    clock_mhz=1100.0,
+    sram_kb=11000.0,
+    algorithm="hash-grid",
+    supports_training=True,
+    end_to_end=True,
+    inference_mps=12.5,
+    training_mps=2.6,
+    inference_nj_per_point=486.0,
+    training_nj_per_point=2357.0,
+    off_chip_bandwidth_gbps=59.7,
+    typical_power_w=15.0,
+)
+
+RTX_2080TI = PlatformSpec(
+    name="Nvidia RTX 2080 Ti",
+    venue="product",
+    kind="gpu",
+    process_nm=12,
+    die_mm2=754.0,
+    clock_mhz=1350.0,
+    sram_kb=27394.0,
+    algorithm="hash-grid",
+    supports_training=True,
+    end_to_end=True,
+    inference_mps=100.0,  # 0.4 M/s/W x 250 W (Table IV)
+    training_mps=25.0,  # 0.1 M/s/W x 250 W
+    off_chip_bandwidth_gbps=616.0,
+    typical_power_w=250.0,
+)
+
+RT_NERF_EDGE = PlatformSpec(
+    name="RT-NeRF (Edge)",
+    venue="ICCAD'22",
+    kind="accelerator",
+    process_nm=28,
+    die_mm2=18.85,
+    clock_mhz=1000.0,
+    sram_kb=3500.0,
+    core_voltage_v=1.0,
+    algorithm="dense-grid",
+    realtime_inference=True,
+    inference_mps=288.0,
+    inference_nj_per_point=27.0,
+    off_chip_bandwidth_gbps=17.0,
+)
+
+RT_NERF_CLOUD = PlatformSpec(
+    name="RT-NeRF (Cloud)",
+    venue="ICCAD'22",
+    kind="accelerator",
+    process_nm=28,
+    die_mm2=565.0,
+    clock_mhz=1000.0,
+    sram_kb=105000.0,
+    algorithm="dense-grid",
+    realtime_inference=True,
+    inference_mps=8160.0,  # 34 M/s/W x 240 W, estimated in the paper
+    off_chip_bandwidth_gbps=510.0,
+    typical_power_w=240.0,
+    estimated=True,
+)
+
+INSTANT_3D = PlatformSpec(
+    name="Instant-3D",
+    venue="ISCA'23",
+    kind="accelerator",
+    process_nm=28,
+    die_mm2=6.8,
+    clock_mhz=800.0,
+    sram_kb=1536.0,
+    core_voltage_v=1.0,
+    algorithm="hash-grid",
+    supports_training=True,
+    instant_training=True,
+    realtime_inference=True,
+    training_mps=32.0,
+    training_nj_per_point=59.0,
+    off_chip_bandwidth_gbps=59.7,
+)
+
+NEUREX_EDGE = PlatformSpec(
+    name="NeuRex (Edge)",
+    venue="ISCA'23",
+    kind="accelerator",
+    process_nm=28,
+    die_mm2=3.14,
+    clock_mhz=1000.0,
+    sram_kb=884.0,
+    algorithm="hash-grid",
+    realtime_inference=True,
+    inference_mps=112.0,
+    inference_nj_per_point=41.0,
+    off_chip_bandwidth_gbps=25.6,
+    estimated=True,
+)
+
+NEUREX_SERVER = PlatformSpec(
+    name="NeuRex (Server)",
+    venue="ISCA'23",
+    kind="accelerator",
+    process_nm=28,
+    die_mm2=21.37,
+    clock_mhz=1000.0,
+    sram_kb=4644.0,
+    algorithm="hash-grid",
+    realtime_inference=True,
+    inference_mps=305.0,  # 50 M/s/W x 6.1 W, estimated in the paper
+    off_chip_bandwidth_gbps=512.0,
+    typical_power_w=6.1,
+    estimated=True,
+)
+
+METAVRAIN = PlatformSpec(
+    name="MetaVRain",
+    venue="ISSCC'23",
+    kind="accelerator",
+    process_nm=28,
+    die_mm2=20.25,
+    clock_mhz=250.0,
+    sram_kb=2050.0,
+    core_voltage_v=0.95,
+    algorithm="mlp",
+    silicon_prototype=True,
+    realtime_inference=True,  # via >97% frame-overlap image warping
+    inference_mps=13.8,
+    inference_nj_per_point=65.0,
+)
+
+NGPC = PlatformSpec(
+    name="NGPC",
+    venue="ISCA'23",
+    kind="accelerator",
+    process_nm=28,
+    algorithm="hash-grid",
+    realtime_inference=True,
+    off_chip_bandwidth_gbps=231.0,
+)
+
+GEN_NERF = PlatformSpec(
+    name="Gen-NeRF",
+    venue="ISCA'23",
+    kind="accelerator",
+    process_nm=28,
+    algorithm="generalizable",
+    off_chip_bandwidth_gbps=17.8,
+)
+
+#: Edge platforms of Table I: the available budget is the USB port.
+EDGE_PLATFORM_BANDWIDTH_GBPS = {
+    "Nvidia XNX": 0.625,
+    "Meta Quest 2/3/Pro": 0.625,
+    "Samsung S24 Ultra": 0.625,
+}
+
+#: Table III column order.
+TABLE3_BASELINES = (
+    JETSON_NANO,
+    JETSON_XNX,
+    RT_NERF_EDGE,
+    INSTANT_3D,
+    NEUREX_EDGE,
+    METAVRAIN,
+)
+
+#: Table IV column order.
+TABLE4_BASELINES = (RTX_2080TI, RT_NERF_CLOUD, NEUREX_SERVER)
+
+#: Table I accelerator rows.
+TABLE1_ACCELERATORS = (
+    RT_NERF_EDGE,
+    GEN_NERF,
+    NEUREX_EDGE,
+    INSTANT_3D,
+    NGPC,
+    RT_NERF_CLOUD,
+    NEUREX_SERVER,
+)
+
+ALL_BASELINES = {
+    spec.name: spec
+    for spec in (
+        JETSON_NANO,
+        JETSON_XNX,
+        RTX_2080TI,
+        RT_NERF_EDGE,
+        RT_NERF_CLOUD,
+        INSTANT_3D,
+        NEUREX_EDGE,
+        NEUREX_SERVER,
+        METAVRAIN,
+        NGPC,
+        GEN_NERF,
+    )
+}

@@ -1,0 +1,89 @@
+"""Image-warping reuse model (MetaVRain's real-time technique).
+
+Table III footnote 1: MetaVRain only sustains real-time rates when more
+than 97% of pixels overlap between consecutive frames, reusing the
+previous frame via warping and re-rendering only the residual.  This
+model quantifies that trade against head motion: as the camera turns,
+the overlapping fraction falls — newly exposed image border plus
+disocclusion — and the effective frame rate of a warping renderer
+collapses toward its raw (non-warped) rate, while a full-pipeline
+renderer like Fusion-3D is motion-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WarpingModelConfig:
+    """Geometry of the reuse estimate."""
+
+    #: Horizontal field of view, degrees (Quest-class headset).
+    fov_deg: float = 90.0
+    #: Fraction of *overlapped* pixels that still need re-rendering due to
+    #: disocclusion and specular invalidation, per radian of rotation.
+    disocclusion_per_radian: float = 0.35
+    #: Frame rate the display asks for (render clock), Hz.
+    target_fps: float = 36.0
+
+
+class ImageWarpingModel:
+    """Effective throughput of a warp-then-patch renderer."""
+
+    def __init__(
+        self,
+        raw_fps: float,
+        config: WarpingModelConfig = WarpingModelConfig(),
+    ):
+        if raw_fps <= 0:
+            raise ValueError("raw_fps must be positive")
+        self.raw_fps = raw_fps
+        self.config = config
+
+    def overlap_fraction(self, angular_velocity_deg_s: float) -> float:
+        """Pixels of the new frame covered by warping the previous one."""
+        if angular_velocity_deg_s < 0:
+            raise ValueError("angular velocity must be non-negative")
+        per_frame_deg = angular_velocity_deg_s / self.config.target_fps
+        border_loss = min(per_frame_deg / self.config.fov_deg, 1.0)
+        disocclusion = (
+            self.config.disocclusion_per_radian
+            * np.deg2rad(per_frame_deg)
+        )
+        return float(np.clip(1.0 - border_loss - disocclusion, 0.0, 1.0))
+
+
+    def rerender_fraction(self, angular_velocity_deg_s: float) -> float:
+        return 1.0 - self.overlap_fraction(angular_velocity_deg_s)
+
+    def effective_fps(self, angular_velocity_deg_s: float) -> float:
+        """Frame rate with warping: only the residual re-renders.
+
+        ``raw_fps / rerender_fraction``, capped at the display rate the
+        warp path can feed.
+        """
+        residual = self.rerender_fraction(angular_velocity_deg_s)
+        if residual <= 0.0:
+            return float("inf")
+        return self.raw_fps / residual
+
+    def realtime_headroom_deg_s(self, realtime_fps: float = 30.0) -> float:
+        """Fastest head motion at which warping still hits real time.
+
+        Solved by bisection on the (monotone) effective-fps curve.
+        """
+        if self.raw_fps >= realtime_fps:
+            return float("inf")
+        low, high = 0.0, 2000.0
+        if self.effective_fps(high) >= realtime_fps:
+            return high
+        for _ in range(60):
+            mid = (low + high) / 2.0
+            if self.effective_fps(mid) >= realtime_fps:
+                low = mid
+            else:
+                high = mid
+        return low

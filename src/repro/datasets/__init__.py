@@ -1,0 +1,27 @@
+"""Procedural datasets standing in for NeRF-Synthetic and NeRF-360.
+
+See DESIGN.md for the substitution argument: the hardware results depend
+on workload statistics, which the analytic scenes control directly.
+"""
+
+from .generator import (
+    Primitive,
+    AnalyticScene,
+    SceneDataset,
+    build_dataset,
+)
+from . import synthetic
+from . import nerf360
+from .synthetic import SYNTHETIC_SCENES
+from .nerf360 import NERF360_SCENES
+
+__all__ = [
+    "Primitive",
+    "AnalyticScene",
+    "SceneDataset",
+    "build_dataset",
+    "synthetic",
+    "nerf360",
+    "SYNTHETIC_SCENES",
+    "NERF360_SCENES",
+]

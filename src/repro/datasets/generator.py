@@ -1,0 +1,206 @@
+"""Procedural analytic scenes: the stand-in for the NeRF image datasets.
+
+We do not ship NeRF-Synthetic / NeRF-360 images (no network, no assets),
+so each scene is an *analytic radiance field* — a union of soft-edged
+primitives with spatially varying color.  Ground-truth images are rendered
+by densely marching the analytic field with the exact same compositing
+math the model uses, which gives perfectly multi-view-consistent
+supervision a NeRF can actually fit.  What the hardware experiments need
+from a dataset is its *workload statistics* (occupancy sparsity, samples
+per ray), and those are directly controlled by the primitive layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nerf.aabb import SceneNormalizer
+from ..nerf.camera import Camera
+from ..nerf.rays import generate_rays
+from ..nerf.volume_rendering import composite
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """A soft-edged density primitive with its own base color.
+
+    ``kind`` is ``"sphere"`` (radius = ``size[0]``), ``"box"`` (half
+    extents = ``size``), or ``"shell"`` (hollow sphere of thickness
+    ``size[1]``).  Density falls off over ``edge`` world units outside the
+    surface, so renders are anti-aliased and densities are smooth enough
+    for a NeRF to learn.
+    """
+
+    kind: str
+    center: tuple
+    size: tuple
+    color: tuple
+    density: float = 40.0
+    edge: float = 0.02
+
+    def signed_distance(self, points: np.ndarray) -> np.ndarray:
+        p = np.atleast_2d(points) - np.asarray(self.center)
+        if self.kind == "sphere":
+            return np.linalg.norm(p, axis=-1) - self.size[0]
+        if self.kind == "box":
+            q = np.abs(p) - np.asarray(self.size)
+            outside = np.linalg.norm(np.maximum(q, 0.0), axis=-1)
+            inside = np.minimum(q.max(axis=-1), 0.0)
+            return outside + inside
+        if self.kind == "shell":
+            return np.abs(np.linalg.norm(p, axis=-1) - self.size[0]) - self.size[1]
+        raise ValueError(f"unknown primitive kind {self.kind!r}")
+
+    def density_at(self, points: np.ndarray) -> np.ndarray:
+        sd = self.signed_distance(points)
+        # Smooth step from full density inside to zero past the edge band.
+        t = np.clip(-sd / self.edge, -1.0, 1.0)
+        return self.density * 0.5 * (1.0 + t)
+
+
+@dataclass
+class AnalyticScene:
+    """A named analytic radiance field over a world-space AABB."""
+
+    name: str
+    primitives: list
+    world_min: np.ndarray
+    world_max: np.ndarray
+    background: float = 1.0
+    #: Mild spatial color modulation so color is non-trivial to learn.
+    color_frequency: float = 4.0
+
+    def __post_init__(self):
+        self.world_min = np.asarray(self.world_min, dtype=np.float64)
+        self.world_max = np.asarray(self.world_max, dtype=np.float64)
+        if np.any(self.world_max <= self.world_min):
+            raise ValueError("world_max must exceed world_min")
+
+    def normalizer(self) -> SceneNormalizer:
+        return SceneNormalizer.from_aabb(self.world_min, self.world_max)
+
+    def density(self, points: np.ndarray) -> np.ndarray:
+        """World-space density: max over primitives (solid union)."""
+        points = np.atleast_2d(points)
+        total = np.zeros(points.shape[0])
+        for prim in self.primitives:
+            np.maximum(total, prim.density_at(points), out=total)
+        return total
+
+    def color(self, points: np.ndarray) -> np.ndarray:
+        """World-space albedo: density-weighted blend of primitive colors
+        with a smooth positional modulation."""
+        points = np.atleast_2d(points)
+        n = points.shape[0]
+        weighted = np.zeros((n, 3))
+        weight = np.zeros(n)
+        for prim in self.primitives:
+            d = prim.density_at(points)
+            weighted += d[:, None] * np.asarray(prim.color)
+            weight += d
+        base = np.where(weight[:, None] > 1e-9, weighted / np.maximum(weight, 1e-9)[:, None], 0.5)
+        mod = 0.15 * np.sin(self.color_frequency * np.pi * points).sum(axis=-1, keepdims=True)
+        return np.clip(base + mod, 0.0, 1.0)
+
+    def density_unit(self, unit_points: np.ndarray) -> np.ndarray:
+        """Density sampled at normalized unit-cube coordinates."""
+        return self.density(self.normalizer().from_unit(unit_points))
+
+    def occupancy_fraction(self, resolution: int = 32, threshold: float = 0.5) -> float:
+        """Fraction of unit-cube cells containing matter (workload knob)."""
+        r = resolution
+        grid = (
+            np.stack(np.meshgrid(*([np.arange(r)] * 3), indexing="ij"), axis=-1)
+            .reshape(-1, 3)
+            + 0.5
+        ) / r
+        return float((self.density_unit(grid) > threshold).mean())
+
+    def render(self, camera: Camera, n_steps: int = 192) -> np.ndarray:
+        """Ground-truth render by dense marching of the analytic field."""
+        from ..nerf.aabb import intersect_unit_cube
+
+        normalizer = self.normalizer()
+        rays = generate_rays(camera)
+        origins, directions = normalizer.rays_to_unit(rays.origins, rays.directions)
+        n_rays = len(rays)
+        t0, t1, hit = intersect_unit_cube(origins, directions)
+        spans = np.where(hit, t1 - t0, 0.0)
+        # Fractional march positions shared by all rays; per-ray t values
+        # stretch them over each ray's own entry/exit segment.
+        fracs = (np.arange(n_steps) + 0.5) / n_steps
+        image = np.empty((n_rays, 3))
+        chunk = 4096
+        for start in range(0, n_rays, chunk):
+            stop = min(start + chunk, n_rays)
+            o = origins[start:stop]
+            d = directions[start:stop]
+            ts = t0[start:stop, None] + fracs[None, :] * spans[start:stop, None]
+            pts = o[:, None, :] + ts[..., None] * d[:, None, :]
+            flat = np.clip(pts.reshape(-1, 3), 0.0, 1.0)
+            world = normalizer.from_unit(flat)
+            sigma = self.density(world)
+            rgb = self.color(world)
+            m = stop - start
+            ray_idx = np.repeat(np.arange(m), n_steps)
+            deltas = np.repeat(spans[start:stop] / n_steps, n_steps)
+            result = composite(
+                sigma,
+                rgb,
+                deltas,
+                ts.reshape(-1),
+                ray_idx,
+                m,
+                background=self.background,
+            )
+            image[start:stop] = result.colors
+        return np.clip(image, 0.0, 1.0).reshape(camera.height, camera.width, 3)
+
+
+@dataclass
+class SceneDataset:
+    """A posed multi-view dataset rendered from an analytic scene."""
+
+    scene: AnalyticScene
+    cameras: list
+    images: np.ndarray
+    normalizer: SceneNormalizer = field(default=None)
+
+    def __post_init__(self):
+        if self.normalizer is None:
+            self.normalizer = self.scene.normalizer()
+
+    @property
+    def name(self) -> str:
+        return self.scene.name
+
+    def split(self, n_train: int) -> tuple:
+        """(train_cameras, train_images, test_cameras, test_images)."""
+        if not 0 < n_train <= len(self.cameras):
+            raise ValueError("invalid split size")
+        return (
+            self.cameras[:n_train],
+            self.images[:n_train],
+            self.cameras[n_train:],
+            self.images[n_train:],
+        )
+
+
+def build_dataset(
+    scene: AnalyticScene,
+    poses: list,
+    width: int = 64,
+    height: int = 64,
+    focal: float = None,
+    gt_steps: int = 192,
+) -> SceneDataset:
+    """Render a posed image set from an analytic scene."""
+    if focal is None:
+        focal = 1.1 * width
+    cameras = [
+        Camera(width=width, height=height, focal=focal, c2w=pose) for pose in poses
+    ]
+    images = np.stack([scene.render(camera, n_steps=gt_steps) for camera in cameras])
+    return SceneDataset(scene=scene, cameras=cameras, images=images)

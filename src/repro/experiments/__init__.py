@@ -1,0 +1,21 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+See :data:`repro.experiments.runner.REGISTRY` for the full index and
+DESIGN.md for the per-experiment mapping to library modules.
+"""
+
+from .base import ExperimentResult
+from .workloads import (
+    SceneWorkload,
+    scene_workload,
+    synthetic_workloads,
+    nerf360_workloads,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "SceneWorkload",
+    "scene_workload",
+    "synthetic_workloads",
+    "nerf360_workloads",
+]

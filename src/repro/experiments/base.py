@@ -1,0 +1,78 @@
+"""Common result type and formatting for the experiment runners.
+
+Every experiment module exposes ``run(quick=True) -> ExperimentResult``.
+``quick`` trades statistical depth (training iterations, dataset size)
+for runtime; the reproduced *shape* is the same in both modes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One table's/figure's reproduced data."""
+
+    experiment: str
+    #: The paper artefact this reproduces, e.g. "Table III".
+    paper_ref: str
+    #: List of dict rows; keys are column names.
+    rows: list
+    #: Headline scalars worth asserting on (paper-vs-measured pairs).
+    summary: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Machine-readable dump (rows + summary) for tooling."""
+
+        def clean(value):
+            if isinstance(value, float) and value != value:  # NaN
+                return None
+            if isinstance(value, float) and value in (float("inf"), float("-inf")):
+                return str(value)
+            if hasattr(value, "item"):
+                return value.item()
+            return value
+
+        payload = asdict(self)
+        payload["rows"] = [
+            {k: clean(v) for k, v in row.items()} for row in self.rows
+        ]
+        payload["summary"] = {k: clean(v) for k, v in self.summary.items()}
+        return json.dumps(payload, indent=2)
+
+    def to_text(self) -> str:
+        """Render as an aligned text table."""
+        lines = [f"{self.experiment}  ({self.paper_ref})", ""]
+        if self.rows:
+            columns = list(self.rows[0].keys())
+            widths = {
+                c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in self.rows))
+                for c in columns
+            }
+            header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+            lines.append(header)
+            lines.append("-" * len(header))
+            for row in self.rows:
+                lines.append(
+                    "  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns)
+                )
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                lines.append(f"{key}: {_fmt(value)}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,53 @@
+"""Chiplet temporal reuse vs PCB spatial scaling (Sec. VIII, with Fig. 14).
+
+For models beyond the chips' combined SRAM, the chiplet package trades
+runtime (temporal shard passes) and I/O-module area (the shard buffer)
+to hold the off-package bandwidth at the USB budget.  This experiment
+sweeps model size and reports both costs, plus whether the in-package
+link keeps up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bandwidth import BandwidthModel
+from ..sim.chiplet import ChipletConfig, ChipletSystem
+from .base import ExperimentResult
+from .workloads import synthetic_workloads
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    workload = synthetic_workloads(scenes=("lego",))[0]
+    system = ChipletSystem(ChipletConfig())
+    bandwidth = BandwidthModel()
+    rows = []
+    for log2_table in range(14, 21):
+        table_bytes = bandwidth.table_bytes(log2_table)
+        report = system.simulate(workload.trace, table_bytes, training=True)
+        rows.append(
+            {
+                "log2_table": log2_table,
+                "table_mb": round(table_bytes / 1e6, 2),
+                "shard_passes": report.shard_passes,
+                "runtime_overhead": round(report.temporal_reuse_overhead, 2),
+                "io_module_mm2": round(report.io_module_mm2, 2),
+                "stream_bound": "yes" if report.stream_s > report.compute_s else "no",
+                "off_package_gbps": report.off_package_gbps,
+            }
+        )
+    overheads = [r["runtime_overhead"] for r in rows]
+    areas = [r["io_module_mm2"] for r in rows]
+    return ExperimentResult(
+        experiment="chiplet temporal reuse vs model size",
+        paper_ref="Sec. VIII + Fig. 14",
+        rows=rows,
+        summary={
+            "off_package_fixed_at_gbps": 0.6,
+            "overhead_monotone": all(
+                b >= a for a, b in zip(overheads, overheads[1:])
+            ),
+            "area_monotone": all(b >= a for a, b in zip(areas, areas[1:])),
+            "max_runtime_overhead": float(np.max(overheads)),
+        },
+    )

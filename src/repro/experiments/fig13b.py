@@ -1,0 +1,94 @@
+"""Fig. 13(b): required bandwidth (and quality) across model sizes.
+
+Sweeps the per-level hash-table size and reports the off-chip bandwidth a
+2-second training run needs, for the end-to-end chip and for the
+partial-pipeline baseline boundary.  Key paper points: the end-to-end
+curve sits far below the baseline everywhere; at Instant-3D's model size
+the gap is 76% (~44 GB/s); at the paper's configuration everything fits
+on chip and only ~0.6 GB/s remains.  The quick mode skips the PSNR leg
+(functional training); the full mode trains a small model per size to
+show quality rising with capacity.
+"""
+
+from __future__ import annotations
+
+from ..core.bandwidth import BandwidthModel, WorkloadVolume
+from .base import ExperimentResult
+
+#: Instant-3D's table configuration (2^16 + 2^18 entries, Sec. VI-C).
+INSTANT3D_TABLE_BYTES = (2**16 + 2**18) * 2 * 2 * 8
+
+
+def _psnr_for_size(log2_table: int, quick: bool) -> float:
+    from ..datasets import synthetic
+    from ..nerf.hash_encoding import HashEncodingConfig
+    from ..nerf.model import InstantNGPModel, ModelConfig
+    from ..nerf.trainer import Trainer, TrainerConfig
+
+    dataset = synthetic.make_dataset(
+        "lego", n_views=8, width=32, height=32, gt_steps=96
+    )
+    model = InstantNGPModel(
+        ModelConfig(
+            encoding=HashEncodingConfig(
+                n_levels=6,
+                log2_table_size=log2_table,
+                base_resolution=8,
+                finest_resolution=96,
+            ),
+            hidden_width=32,
+        ),
+        seed=0,
+    )
+    trainer = Trainer(
+        model,
+        dataset.cameras,
+        dataset.images,
+        dataset.normalizer,
+        TrainerConfig(batch_rays=512, lr=5e-3, max_samples_per_ray=48,
+                      occupancy_resolution=24),
+    )
+    trainer.train(300)
+    return trainer.eval_psnr(n_views=2)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    model = BandwidthModel()
+    workload = WorkloadVolume.instant_training()
+    sizes = range(12, 20)
+    rows = []
+    for log2_table in sizes:
+        table_bytes = model.table_bytes(log2_table)
+        ours = model.required_training_bandwidth_gbps(workload, table_bytes)
+        partial = model.required_training_bandwidth_gbps(
+            workload,
+            table_bytes,
+            on_chip_feature_bytes=1536 * 1024,
+            end_to_end=False,
+        )
+        row = {
+            "log2_table": log2_table,
+            "table_kb": round(table_bytes / 1024),
+            "end_to_end_gbps": round(ours, 2),
+            "partial_pipeline_gbps": round(partial, 2),
+            "fits_on_chip": "yes" if table_bytes <= 640 * 1024 else "no",
+        }
+        if not quick and log2_table <= 15:
+            row["psnr"] = round(_psnr_for_size(log2_table, quick), 2)
+        rows.append(row)
+    at_i3d = model.end_to_end_reduction(workload, INSTANT3D_TABLE_BYTES)
+    return ExperimentResult(
+        experiment="bandwidth vs model size",
+        paper_ref="Fig. 13(b)",
+        rows=rows,
+        summary={
+            "reduction_at_instant3d_size": at_i3d["reduction"],
+            "paper_reduction": 0.76,
+            "saved_gbps_at_instant3d_size": at_i3d["saved_gbps"],
+            "paper_saved_gbps": 44.0,
+            "our_bw_at_paper_config_gbps": model.required_training_bandwidth_gbps(
+                workload, model.table_bytes(14)
+            ),
+            "paper_bw_gbps": 0.6,
+        },
+    )

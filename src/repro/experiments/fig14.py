@@ -1,0 +1,56 @@
+"""Fig. 14: chiplet-based scaling — I/O-module area vs model size.
+
+Sec. VIII's discussion: in-package chiplet links are fast enough that a
+buffer in the I/O module can cache the model working set, keeping the
+*off-package* bandwidth at 0.6 GB/s while the computing chips are
+temporally reused for larger models.  The cost is I/O-module area, which
+grows with the buffered model — the figure's rising curve.
+
+The area model is shared with :mod:`repro.sim.chiplet`, which simulates
+the runtime side of the same trade (see the ``chiplet_scaling``
+experiment).
+"""
+
+from __future__ import annotations
+
+from ..core.bandwidth import BandwidthModel
+from ..hw.interconnect import CHIPLET_LINK, USB_3_2_GEN1
+from ..sim.chiplet import ChipletConfig, ChipletSystem
+from .base import ExperimentResult
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    model = BandwidthModel()
+    system = ChipletSystem(ChipletConfig())
+    rows = []
+    base = system.io_module_area_mm2(model.table_bytes(12))
+    for log2_table in range(14, 22):
+        table_bytes = model.table_bytes(log2_table)
+        area = system.io_module_area_mm2(table_bytes)
+        # The chiplet link must sustain streaming the buffered working set
+        # to the compute chips once per training iteration burst.
+        stream_gbps = table_bytes * 3072 / 2.0 / 1e9
+        rows.append(
+            {
+                "log2_table": log2_table,
+                "table_mb": round(table_bytes / 1e6, 2),
+                "io_module_mm2": round(area, 2),
+                "area_vs_min": round(area / base, 1),
+                "in_package_gbps": round(stream_gbps, 1),
+                "chiplet_link_ok": "yes"
+                if stream_gbps <= CHIPLET_LINK.bandwidth_gbps * 4
+                else "no",
+                "off_package_gbps": 0.6,
+            }
+        )
+    return ExperimentResult(
+        experiment="chiplet I/O-module area vs model size",
+        paper_ref="Fig. 14",
+        rows=rows,
+        summary={
+            "off_package_budget_gbps": USB_3_2_GEN1.bandwidth_gbps,
+            "area_at_2^20_vs_2^14": rows[-2]["io_module_mm2"]
+            / max(rows[0]["io_module_mm2"], 1e-9),
+            "paper_claim": "I/O area must grow significantly with model size",
+        },
+    )

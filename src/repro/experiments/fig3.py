@@ -1,0 +1,73 @@
+"""Fig. 3: data volumes of the three pipeline stages during training.
+
+Reproduces the motivation numbers: ~155 GB of intra-stage plus ~25 GB of
+inter-stage intermediate data for a 2-second training run to 25 PSNR,
+versus only ~0.7 GB of true pipeline I/O — hence 77.5 + 12.5 GB/s of
+bandwidth for a partial design vs under 1 GB/s for the end-to-end chip.
+"""
+
+from __future__ import annotations
+
+from ..core.bandwidth import BandwidthModel, WorkloadVolume
+from .base import ExperimentResult
+
+PAPER = {
+    "intra_stage_gb": 155.0,
+    "inter_stage_gbps": 12.5,
+    "intra_stage_gbps": 77.5,
+    "io_mb": 700.0,
+}
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    model = BandwidthModel()
+    workload = WorkloadVolume.instant_training()
+    volume = model.training_volume(workload)
+    rates = volume.rates_gbps(workload.deadline_s)
+    boundaries = [
+        ("partial pipeline (prior accelerators)", False),
+        ("end-to-end (this work)", True),
+    ]
+    rows = [
+        {
+            "quantity": "inter-stage data",
+            "volume_gb": round(volume.inter_stage_bytes / 1e9, 1),
+            "rate_gbps": round(rates["inter_stage"], 1),
+            "paper": f"{PAPER['inter_stage_gbps']} GB/s",
+        },
+        {
+            "quantity": "intra-stage data",
+            "volume_gb": round(volume.intra_stage_bytes / 1e9, 1),
+            "rate_gbps": round(rates["intra_stage"], 1),
+            "paper": f"{PAPER['intra_stage_gbps']} GB/s",
+        },
+        {
+            "quantity": "pipeline I/O",
+            "volume_gb": round(volume.io_bytes / 1e9, 2),
+            "rate_gbps": round(rates["io"], 2),
+            "paper": f"{PAPER['io_mb']} MB total",
+        },
+    ]
+    for name, end_to_end in boundaries:
+        bw = model.required_training_bandwidth_gbps(
+            workload, table_bytes=model.table_bytes(14), end_to_end=end_to_end
+        )
+        rows.append(
+            {
+                "quantity": f"off-chip BW, {name}",
+                "volume_gb": None,
+                "rate_gbps": round(bw, 2),
+                "paper": "0.6 GB/s" if end_to_end else ">= 17 GB/s",
+            }
+        )
+    return ExperimentResult(
+        experiment="training data volumes by pipeline stage",
+        paper_ref="Fig. 3",
+        rows=rows,
+        summary={
+            "total_intermediate_gb": volume.total_intermediate_bytes / 1e9,
+            "paper_total_gb": PAPER["intra_stage_gb"] + 25.0,
+            "io_mb": volume.io_bytes / 1e6,
+            "paper_io_mb": PAPER["io_mb"],
+        },
+    )

@@ -1,0 +1,94 @@
+"""Figs. 9-10: prototype chip characterization.
+
+Reproduces the spec table (Fig. 9(b)), the module area/power breakdown
+(Fig. 10(c)), the voltage-frequency curve (Fig. 10(d)), the prototype
+performance points (36 FPS rendering / 1.8 s training at 600 MHz), and
+the Stage II sharing ablation of Sec. IV-B3 (87.4% shared / 12.6%
+reused).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.area import AreaModel, stage2_sharing_ablation
+from ..hw.technology import TECH_28NM
+from ..core.metrics import fps_from_throughput
+from ..sim.chip import ChipConfig, SingleChipAccelerator
+from .base import ExperimentResult
+from .workloads import synthetic_workloads
+
+PAPER = {
+    "fps": 36.0,
+    "training_s": 1.8,
+    "power_w": 1.21,
+    "scaled_die_mm2": 8.7,
+    "shared_fraction": 0.874,
+}
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    proto = SingleChipAccelerator(ChipConfig.prototype())
+    scaled = SingleChipAccelerator(ChipConfig.scaled())
+    workloads = synthetic_workloads(scenes=("lego", "hotdog", "ship"))
+    inf_mps = float(
+        np.mean(
+            [proto.simulate(w.trace).samples_per_second for w in workloads]
+        )
+    )
+    trn_mps = float(
+        np.mean(
+            [
+                proto.simulate(w.trace, training=True).samples_per_second
+                for w in workloads
+            ]
+        )
+    )
+    power = float(np.mean([proto.simulate(w.trace).power_w for w in workloads]))
+    fps = fps_from_throughput(inf_mps)
+    # The paper's 1.8 s training point: the prototype trains its own
+    # half-size model (5 of 10 feature tables), i.e. half the scaled
+    # chip's 398 M-sample budget.
+    training_s = 199e6 / trn_mps
+    rows = []
+    modules = proto.area()
+    breakdown = AreaModel.breakdown(modules)
+    power = proto.power_breakdown(workloads[0].trace)
+    total_power = sum(power.values())
+    for module in modules:
+        rows.append(
+            {
+                "module": module.name,
+                "logic_mm2": round(module.logic_mm2, 3),
+                "sram_mm2": round(module.sram_mm2, 3),
+                "area_share": round(breakdown[module.name], 3),
+                "power_share": round(power.get(module.name, 0.0) / total_power, 3),
+            }
+        )
+    # Voltage-frequency curve (Fig. 10(d)).
+    vf = [
+        (v, TECH_28NM.frequency_at_voltage(v) / 1e6)
+        for v in (0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05)
+    ]
+    sharing = stage2_sharing_ablation()
+    return ExperimentResult(
+        experiment="prototype chip characterization",
+        paper_ref="Figs. 9-10 + Sec. IV-B3",
+        rows=rows,
+        summary={
+            "prototype_fps": fps,
+            "paper_fps": PAPER["fps"],
+            "prototype_training_s": training_s,
+            "paper_training_s": PAPER["training_s"],
+            "prototype_power_w": power,
+            "paper_power_w": PAPER["power_w"],
+            "prototype_die_mm2": proto.die_area_mm2(),
+            "scaled_die_mm2": scaled.die_area_mm2(),
+            "paper_scaled_die_mm2": PAPER["scaled_die_mm2"],
+            "scaled_sram_kb": scaled.config.sram_kb,
+            "freq_at_0.95v_mhz": TECH_28NM.frequency_at_voltage(0.95) / 1e6,
+            "vf_curve_mhz": ", ".join(f"{v:.2f}V:{f:.0f}" for v, f in vf),
+            "stage2_shared_fraction": sharing["shared_fraction"],
+            "paper_shared_fraction": PAPER["shared_fraction"],
+        },
+    )

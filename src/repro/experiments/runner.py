@@ -1,0 +1,112 @@
+"""Experiment registry and command-line entry point.
+
+``fusion3d-experiments list`` shows every reproducible table/figure;
+``fusion3d-experiments run table3`` regenerates one; ``run all`` walks
+the whole evaluation section.  ``--full`` switches off quick mode (more
+scenes, more training iterations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    chiplet_scaling,
+    dataset_stats,
+    ert_study,
+    fig3,
+    fig6,
+    fig9_10,
+    fig11,
+    fig12,
+    fig13a,
+    fig13b,
+    fig14,
+    moe_scaling,
+    scaling_cost,
+    scheduler_study,
+    speedup_breakdown,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    tensorf_adaptation,
+    vf_scaling,
+    warping_study,
+)
+from .base import ExperimentResult
+
+#: name -> (module, paper reference) registry of every experiment.
+REGISTRY = {
+    "table1": (table1, "Table I: off-chip bandwidth comparison"),
+    "table2": (table2, "Table II: INT8 quantized-training quality"),
+    "table3": (table3, "Table III: single chip vs SOTA"),
+    "table4": (table4, "Table IV: multi-chip vs cloud platforms"),
+    "table5": (table5, "Table V: per-scene NeRF-360 vs 2080 Ti"),
+    "table6": (table6, "Table VI: sampling ablation (T1)"),
+    "fig3": (fig3, "Fig. 3: stage data volumes"),
+    "fig6": (fig6, "Fig. 6(d): FIEM multiplier"),
+    "fig9_10": (fig9_10, "Figs. 9-10: chip characterization"),
+    "fig11": (fig11, "Fig. 11: per-scene speedup/energy"),
+    "fig12": (fig12, "Fig. 12: tiling ablations (T3/T4)"),
+    "fig13a": (fig13a, "Fig. 13(a): MoE convergence"),
+    "fig13b": (fig13b, "Fig. 13(b): bandwidth vs model size"),
+    "fig14": (fig14, "Fig. 14: chiplet I/O area"),
+    "speedup_breakdown": (speedup_breakdown, "Sec. VI-C: per-stage speedup"),
+    "tensorf_adaptation": (tensorf_adaptation, "Sec. VI-C: TensoRF adaptation"),
+    "scaling_cost": (scaling_cost, "Sec. II-D: yield/cost of scaling"),
+    "vf_scaling": (vf_scaling, "Fig. 10(d) ext: DVFS operating points"),
+    "scheduler_study": (scheduler_study, "Fig. 5(c): dispatch policies"),
+    "chiplet_scaling": (chiplet_scaling, "Sec. VIII: chiplet temporal reuse"),
+    "moe_scaling": (moe_scaling, "Fig. 13(a) obs. 2: PSNR vs expert count"),
+    "ert_study": (ert_study, "extension: early ray termination"),
+    "warping_study": (warping_study, "Table III fn. 1: warping vs motion"),
+    "dataset_stats": (dataset_stats, "DESIGN.md: substitution statistics"),
+}
+
+
+def run_experiment(name: str, quick: bool = True) -> ExperimentResult:
+    """Run one registered experiment by name."""
+    if name not in REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}; see REGISTRY")
+    module, _ = REGISTRY[name]
+    return module.run(quick=quick)
+
+
+def main(argv: list = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fusion3d-experiments",
+        description="Regenerate the tables and figures of the Fusion-3D paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("name", help="experiment name or 'all'")
+    run_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full scenes/iterations instead of the quick subset",
+    )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text tables",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name, (_, description) in REGISTRY.items():
+            print(f"{name:20s} {description}")
+        return 0
+    names = list(REGISTRY) if args.name == "all" else [args.name]
+    for name in names:
+        result = run_experiment(name, quick=not args.full)
+        print(result.to_json() if args.json else result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Sec. II-D motivation: die yield and cost of scaling up vs out.
+
+Reproduces the yield argument: growing one die to server-accelerator
+sizes (RT-NeRF Cloud: 565 mm^2) collapses yield and roughly doubles cost
+per good mm^2, while four small Fusion-3D dies keep near-baseline yield.
+The paper quotes 99% -> 72% yield for scaling RT-NeRF under the Chiplet
+Actuary model.
+"""
+
+from __future__ import annotations
+
+from ..hw.yield_model import compare_scaling, cost_per_good_mm2, die_yield
+from .base import ExperimentResult
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    areas = [
+        ("Fusion-3D chip", 8.7),
+        ("RT-NeRF edge", 18.85),
+        ("MetaVRain", 20.25),
+        ("4x Fusion-3D (total silicon)", 35.0),
+        ("RT-NeRF scaled (paper's example)", 4 * 18.85),
+        ("RT-NeRF cloud", 565.0),
+    ]
+    small_cost = cost_per_good_mm2(8.7)
+    rows = []
+    for name, area in areas:
+        rows.append(
+            {
+                "design": name,
+                "die_mm2": area,
+                "yield": round(die_yield(area), 3),
+                "cost_per_good_mm2_vs_8.7mm2": round(
+                    cost_per_good_mm2(area) / small_cost, 2
+                ),
+            }
+        )
+    comparison = compare_scaling(total_area_mm2=4 * 18.85, n_chips=4)
+    return ExperimentResult(
+        experiment="yield and cost: one big die vs four small dies",
+        paper_ref="Sec. II-D",
+        rows=rows,
+        summary={
+            "monolithic_75mm2_yield": comparison.monolithic_yield,
+            "per_chip_yield": comparison.per_chip_yield,
+            "multi_chip_cost_saving": comparison.cost_saving,
+            "paper_yield_drop": "99% -> 72% for scaled RT-NeRF",
+            "scaled_rtnerf_yield": die_yield(4 * 18.85),
+        },
+    )

@@ -1,0 +1,63 @@
+"""Sec. VI-C speedup breakdown: per-stage speedup vs the Jetson XNX.
+
+The design methodology sizes Stages I and III to match Stage II, so all
+three stages speed up by the same factor — the paper quotes 47x
+(inference) and 76x (training) over the XNX.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import GpuModel, GpuModelConfig, JETSON_XNX
+from ..sim.chip import ChipConfig, SingleChipAccelerator
+from .base import ExperimentResult
+from .workloads import synthetic_workloads
+
+PAPER = {"inference_speedup": 47.0, "training_speedup": 76.0}
+
+#: The GPU's time split across the three stages (Stage II/III dominate on
+#: hash-grid NeRFs; Stage I is a minor but non-negligible share).
+GPU_STAGE_SHARES = {"sampling": 0.10, "interp": 0.55, "postproc": 0.35}
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    scenes = ("lego", "hotdog") if quick else None
+    workloads = synthetic_workloads(scenes=scenes)
+    chip = SingleChipAccelerator(ChipConfig.scaled())
+    xnx = GpuModel(JETSON_XNX, GpuModelConfig(reference_samples_per_ray=3.6))
+    rows = []
+    overall = {"inference": [], "training": []}
+    for training in (False, True):
+        mode = "training" if training else "inference"
+        for w in workloads:
+            ours = chip.simulate(w.trace, training=training)
+            gpu_s = xnx.runtime_s(w.trace, training=training)
+            total_speedup = gpu_s / ours.runtime_s
+            overall[mode].append(total_speedup)
+            stage_cycles = ours.stage_cycles()
+            for stage, share in GPU_STAGE_SHARES.items():
+                gpu_stage_s = gpu_s * share
+                our_stage_s = (
+                    stage_cycles[stage] * chip.config.tech.cycle_s
+                )
+                rows.append(
+                    {
+                        "mode": mode,
+                        "scene": w.name,
+                        "stage": stage,
+                        "stage_speedup": round(gpu_stage_s / our_stage_s, 1),
+                        "end_to_end_speedup": round(total_speedup, 1),
+                    }
+                )
+    return ExperimentResult(
+        experiment="per-stage speedup breakdown vs Jetson XNX",
+        paper_ref="Sec. VI-C (speedup breakdown)",
+        rows=rows,
+        summary={
+            "inference_speedup_measured": float(np.mean(overall["inference"])),
+            "inference_speedup_paper": PAPER["inference_speedup"],
+            "training_speedup_measured": float(np.mean(overall["training"])),
+            "training_speedup_paper": PAPER["training_speedup"],
+        },
+    )

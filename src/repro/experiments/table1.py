@@ -1,0 +1,66 @@
+"""Table I: off-chip bandwidth of prior accelerators vs edge platforms.
+
+Prior accelerators report DRAM bandwidths far above the 0.625 GB/s USB
+budget edge devices actually expose for a plug-in accelerator; the
+end-to-end chip's computed requirement fits under it.
+"""
+
+from __future__ import annotations
+
+from ..baselines import TABLE1_ACCELERATORS, EDGE_PLATFORM_BANDWIDTH_GBPS
+from ..core.bandwidth import BandwidthModel, WorkloadVolume
+from ..hw.interconnect import USB_3_2_GEN1
+from .base import ExperimentResult
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    model = BandwidthModel()
+    workload = WorkloadVolume.instant_training()
+    ours = model.required_training_bandwidth_gbps(
+        workload, table_bytes=model.table_bytes(14)
+    )
+    rows = []
+    for spec in TABLE1_ACCELERATORS:
+        rows.append(
+            {
+                "platform": spec.name,
+                "kind": "prior accelerator",
+                "supports_training": "yes" if spec.supports_training else "no",
+                "bandwidth_gbps": spec.off_chip_bandwidth_gbps,
+                "fits_usb": "yes"
+                if spec.off_chip_bandwidth_gbps <= USB_3_2_GEN1.bandwidth_gbps
+                else "no",
+            }
+        )
+    for name, bw in EDGE_PLATFORM_BANDWIDTH_GBPS.items():
+        rows.append(
+            {
+                "platform": name,
+                "kind": "edge platform budget",
+                "supports_training": "-",
+                "bandwidth_gbps": bw,
+                "fits_usb": "yes",
+            }
+        )
+    rows.append(
+        {
+            "platform": "This work (Fusion-3D)",
+            "kind": "this work",
+            "supports_training": "yes (instant)",
+            "bandwidth_gbps": round(ours, 3),
+            "fits_usb": "yes" if ours <= USB_3_2_GEN1.bandwidth_gbps else "no",
+        }
+    )
+    return ExperimentResult(
+        experiment="off-chip bandwidth comparison",
+        paper_ref="Table I",
+        rows=rows,
+        summary={
+            "our_requirement_gbps": ours,
+            "usb_budget_gbps": USB_3_2_GEN1.bandwidth_gbps,
+            "paper_claim_gbps": 0.6,
+            "min_prior_accelerator_gbps": min(
+                s.off_chip_bandwidth_gbps for s in TABLE1_ACCELERATORS
+            ),
+        },
+    )

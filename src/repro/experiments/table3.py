@@ -1,0 +1,111 @@
+"""Table III: the single-chip accelerator vs six SOTA platforms.
+
+Simulates the scaled chip on the NeRF-Synthetic workload mix and compares
+throughput (M sampled points/s) and energy per point against the
+published baseline numbers the paper tabulates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import TABLE3_BASELINES, RT_NERF_EDGE, INSTANT_3D, NEUREX_EDGE
+from ..core.bandwidth import BandwidthModel, WorkloadVolume
+from ..sim.chip import ChipConfig, SingleChipAccelerator
+from .base import ExperimentResult
+from .workloads import synthetic_workloads
+
+PAPER = {
+    "inference_mps": 591.0,
+    "training_mps": 199.0,
+    "inference_nj": 2.5,
+    "training_nj": 7.4,
+    "bandwidth_gbps": 0.6,
+    "die_mm2": 8.7,
+    "sram_kb": 1099.0,
+}
+
+
+def simulate_this_work(quick: bool = True) -> dict:
+    """Scene-averaged single-chip results on the synthetic-8 workload."""
+    scenes = ("mic", "lego", "ship") if quick else None
+    workloads = synthetic_workloads(scenes=scenes)
+    chip = SingleChipAccelerator(ChipConfig.scaled())
+    inf_mps, trn_mps, inf_nj, trn_nj = [], [], [], []
+    for w in workloads:
+        inf = chip.simulate(w.trace, training=False)
+        trn = chip.simulate(w.trace, training=True)
+        inf_mps.append(inf.samples_per_second / 1e6)
+        trn_mps.append(trn.samples_per_second / 1e6)
+        inf_nj.append(inf.energy_per_sample_j * 1e9)
+        trn_nj.append(trn.energy_per_sample_j * 1e9)
+    bw_model = BandwidthModel()
+    bw = bw_model.required_training_bandwidth_gbps(
+        WorkloadVolume.instant_training(), table_bytes=bw_model.table_bytes(14)
+    )
+    return {
+        "inference_mps": float(np.mean(inf_mps)),
+        "training_mps": float(np.mean(trn_mps)),
+        "inference_nj": float(np.mean(inf_nj)),
+        "training_nj": float(np.mean(trn_nj)),
+        "bandwidth_gbps": bw,
+        "die_mm2": chip.die_area_mm2(),
+        "sram_kb": chip.config.sram_kb,
+    }
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    ours = simulate_this_work(quick)
+    rows = []
+    for spec in TABLE3_BASELINES:
+        rows.append(
+            {
+                "platform": spec.name,
+                "process_nm": spec.process_nm,
+                "die_mm2": spec.die_mm2,
+                "sram_kb": spec.sram_kb,
+                "inference_mps": spec.inference_mps,
+                "training_mps": spec.training_mps,
+                "inference_nj": spec.inference_nj_per_point,
+                "training_nj": spec.training_nj_per_point,
+                "bandwidth_gbps": spec.off_chip_bandwidth_gbps,
+            }
+        )
+    rows.append(
+        {
+            "platform": "This work (simulated)",
+            "process_nm": 28,
+            "die_mm2": round(ours["die_mm2"], 2),
+            "sram_kb": ours["sram_kb"],
+            "inference_mps": round(ours["inference_mps"], 1),
+            "training_mps": round(ours["training_mps"], 1),
+            "inference_nj": round(ours["inference_nj"], 2),
+            "training_nj": round(ours["training_nj"], 2),
+            "bandwidth_gbps": round(ours["bandwidth_gbps"], 2),
+        }
+    )
+    summary = {
+        f"{key}_paper": PAPER[key] for key in ("inference_mps", "training_mps")
+    }
+    summary.update(
+        {
+            "inference_mps_measured": ours["inference_mps"],
+            "training_mps_measured": ours["training_mps"],
+            "inference_speedup_vs_rtnerf": ours["inference_mps"]
+            / RT_NERF_EDGE.inference_mps,
+            "inference_speedup_vs_neurex": ours["inference_mps"]
+            / NEUREX_EDGE.inference_mps,
+            "training_speedup_vs_instant3d": ours["training_mps"]
+            / INSTANT_3D.training_mps,
+            "inference_energy_eff_vs_rtnerf": RT_NERF_EDGE.inference_nj_per_point
+            / ours["inference_nj"],
+            "training_energy_eff_vs_instant3d": INSTANT_3D.training_nj_per_point
+            / ours["training_nj"],
+        }
+    )
+    return ExperimentResult(
+        experiment="single-chip accelerator vs SOTA",
+        paper_ref="Table III",
+        rows=rows,
+        summary=summary,
+    )

@@ -1,0 +1,58 @@
+"""Voltage-frequency operating points (extends Fig. 10(d)).
+
+The paper measures the prototype's V-f curve; this experiment runs the
+scaled chip across supply voltages and reports the throughput/power/
+efficiency trade — the DVFS envelope an AR/VR integrator would use to
+hit a power budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.technology import TECH_28NM, technology_at_voltage
+from ..sim.chip import ChipConfig, SingleChipAccelerator
+from .base import ExperimentResult
+from .workloads import synthetic_workloads
+
+VOLTAGES = (0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    workload = synthetic_workloads(scenes=("lego",))[0]
+    rows = []
+    efficiencies = []
+    for voltage in VOLTAGES:
+        tech = technology_at_voltage(TECH_28NM, voltage)
+        from dataclasses import replace
+
+        chip = SingleChipAccelerator(replace(ChipConfig.scaled(), tech=tech))
+        report = chip.simulate(workload.trace)
+        mps = report.samples_per_second / 1e6
+        nj = report.energy_per_sample_j * 1e9
+        efficiencies.append(mps / max(report.power_w, 1e-9))
+        rows.append(
+            {
+                "voltage_v": voltage,
+                "clock_mhz": round(tech.clock_hz / 1e6),
+                "inference_mps": round(mps, 1),
+                "power_w": round(report.power_w, 3),
+                "nj_per_sample": round(nj, 2),
+                "mps_per_watt": round(mps / max(report.power_w, 1e-9), 1),
+            }
+        )
+    nominal = next(r for r in rows if r["voltage_v"] == 0.95)
+    return ExperimentResult(
+        experiment="voltage-frequency scaling of the scaled chip",
+        paper_ref="Fig. 10(d) (extended)",
+        rows=rows,
+        summary={
+            "clock_at_0.95v_mhz": nominal["clock_mhz"],
+            "paper_clock_mhz": 600,
+            "best_efficiency_voltage": VOLTAGES[int(np.argmax(efficiencies))],
+            "throughput_monotone_in_voltage": all(
+                b["inference_mps"] >= a["inference_mps"]
+                for a, b in zip(rows, rows[1:])
+            ),
+        },
+    )

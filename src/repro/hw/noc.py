@@ -1,0 +1,73 @@
+"""On-chip network model connecting Fusion-3D's modules.
+
+The NoC links the sampling, feature-interpolation, and post-processing
+modules to the memory clusters and the interface/controller.  We model it
+as a small crossbar with per-hop energy and bandwidth limits; Sec. V-B's
+ablation (Fig. 12(b)) compares this crossbar against the one-to-one wiring
+that the two-level hash tiling makes sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .technology import Technology, TECH_28NM
+
+
+@dataclass(frozen=True)
+class NocSpec:
+    """Static NoC parameters."""
+
+    n_ports: int = 8
+    #: Link width in bytes per cycle per port.
+    link_bytes_per_cycle: int = 16
+    #: Energy to move one byte across the crossbar, pJ.
+    energy_pj_per_byte: float = 0.08
+    #: Router/arbitration latency, cycles.
+    hop_cycles: int = 1
+
+
+class Noc:
+    """Bandwidth/energy accounting for on-chip transfers."""
+
+    def __init__(self, spec: NocSpec, tech: Technology = TECH_28NM):
+        self.spec = spec
+        self.tech = tech
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Cycles to move ``nbytes`` over one port, including the hop."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0
+        beats = -(-nbytes // self.spec.link_bytes_per_cycle)
+        return beats + self.spec.hop_cycles
+
+    def transfer_energy_pj(self, nbytes: int) -> float:
+        return nbytes * self.spec.energy_pj_per_byte
+
+    def peak_bandwidth_gbps(self) -> float:
+        """Aggregate bandwidth across all ports, GB/s."""
+        per_port = self.spec.link_bytes_per_cycle * self.tech.clock_hz
+        return self.spec.n_ports * per_port / 1e9
+
+
+def crossbar_area_mm2(n_ports: int, width_bits: int, tech: Technology = TECH_28NM) -> float:
+    """Area of a full crossbar memory-access unit (the untiled baseline).
+
+    A crossbar needs an ``n x n`` grid of ``width_bits``-wide muxes plus
+    per-output arbitration; its area grows quadratically with port count.
+    """
+    mux_gates = n_ports * n_ports * width_bits * 3.5
+    arb_gates = n_ports * 220
+    return (mux_gates + arb_gates) / tech.logic.gates_per_mm2
+
+
+def one_to_one_area_mm2(n_ports: int, width_bits: int, tech: Technology = TECH_28NM) -> float:
+    """Area of the direct one-to-one connection enabled by hash tiling.
+
+    With conflict-free bank mapping (Sec. V-B) every interpolation lane
+    talks to exactly one bank, so only pipeline registers remain.
+    """
+    register_gates = n_ports * width_bits * 1.2
+    return register_gates / tech.logic.gates_per_mm2

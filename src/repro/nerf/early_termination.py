@@ -1,0 +1,120 @@
+"""Early ray termination (ERT): the standard NeRF inference optimization.
+
+Once a ray's accumulated transmittance falls below a threshold, the
+remaining samples cannot visibly change the pixel, so the hardware stops
+fetching and evaluating them.  The renderer here applies the same rule to
+*workload accounting*: it reports how many samples a hardware pipeline
+with ERT actually processes, which the chip simulator consumes to
+quantify the inference speedup ERT buys on opaque scenes.
+
+ERT is inference-only (training needs gradients from every sample, and
+the paper trains without it), and it composes with the occupancy gating
+of Stage I: occupancy removes empty space in front of surfaces, ERT
+removes hidden space behind them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .sampling import SampleBatch
+from .volume_rendering import RenderResult, segment_starts
+
+
+@dataclass
+class TerminationStats:
+    """Workload effect of ERT on one rendered batch."""
+
+    total_samples: int
+    live_samples: int
+    threshold: float
+
+    @property
+    def terminated_fraction(self) -> float:
+        if self.total_samples == 0:
+            return 0.0
+        return 1.0 - self.live_samples / self.total_samples
+
+    @property
+    def speedup(self) -> float:
+        """Stage II/III work reduction factor."""
+        if self.live_samples == 0:
+            return float("inf")
+        return self.total_samples / self.live_samples
+
+
+def live_sample_mask(
+    result: RenderResult,
+    ray_idx: np.ndarray,
+    n_rays: int,
+    threshold: float = 1e-3,
+) -> np.ndarray:
+    """Samples a hardware ERT unit would actually evaluate.
+
+    A sample is *live* while its ray's transmittance on entry is at least
+    ``threshold``; everything after the termination point is skipped.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    return result.transmittance >= threshold
+
+
+def termination_stats(
+    result: RenderResult,
+    batch: SampleBatch,
+    threshold: float = 1e-3,
+) -> TerminationStats:
+    """ERT workload statistics for one rendered batch."""
+    mask = live_sample_mask(result, batch.ray_idx, batch.n_rays, threshold)
+    return TerminationStats(
+        total_samples=len(batch),
+        live_samples=int(mask.sum()),
+        threshold=threshold,
+    )
+
+
+def truncate_batch(
+    batch: SampleBatch,
+    result: RenderResult,
+    threshold: float = 1e-3,
+) -> SampleBatch:
+    """The batch an ERT-enabled pipeline would have produced.
+
+    Used to re-drive the chip simulator with the reduced workload; the
+    per-ray front-to-back ordering is preserved because ERT only removes
+    suffixes.
+    """
+    mask = live_sample_mask(result, batch.ray_idx, batch.n_rays, threshold)
+    return SampleBatch(
+        positions=batch.positions[mask],
+        directions=batch.directions[mask],
+        deltas=batch.deltas[mask],
+        ts=batch.ts[mask],
+        ray_idx=batch.ray_idx[mask],
+        n_rays=batch.n_rays,
+        candidates=batch.candidates,
+    )
+
+
+def per_ray_live_counts(
+    result: RenderResult,
+    batch: SampleBatch,
+    threshold: float = 1e-3,
+) -> np.ndarray:
+    """Live samples per ray — the ERT'd samples_per_ray distribution."""
+    mask = live_sample_mask(result, batch.ray_idx, batch.n_rays, threshold)
+    counts = np.zeros(batch.n_rays, dtype=np.int64)
+    np.add.at(counts, batch.ray_idx[mask], 1)
+    return counts
+
+
+def verify_color_preserved(
+    result: RenderResult,
+    truncated_result: RenderResult,
+    threshold: float = 1e-3,
+) -> float:
+    """Max per-channel color change ERT introduced (bounded by
+    ``threshold`` times the color range, by construction)."""
+    return float(np.max(np.abs(result.colors - truncated_result.colors)))

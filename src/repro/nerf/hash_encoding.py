@@ -1,0 +1,207 @@
+"""Multiresolution hash-grid encoding (Instant-NGP), with hand gradients.
+
+Stage II of the pipeline: every sampled 3D point gathers features from the
+eight grid vertices surrounding it at each of L resolution levels; the
+features are trilinearly interpolated and concatenated into the MLP input.
+Training scatters gradients back into the same eight vertices per level.
+
+The spatial hash follows Mueller et al.:
+``h(x, y, z) = (x * 1) xor (y * 2654435761) xor (z * 805459861) mod T``.
+Two properties of this function matter to the hardware (Sec. V-B):
+
+* the Y/Z primes are large, so vertices that differ in their Y/Z offset
+  land far apart in the table (Level-2 "interpolation level" tiling);
+* the X factor is 1, so vertices that differ by one in X always have
+  opposite index parity when ``T`` is even (Level-3 "parity" tiling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Instant-NGP hash primes.  PRIMES[0] == 1 is load-bearing: see module doc.
+PRIMES = np.array([1, 2654435761, 805459861], dtype=np.uint64)
+
+#: Corner offsets of a unit cell, ordered x-fastest; corner ``c`` has
+#: offsets ``((c >> 0) & 1, (c >> 1) & 1, (c >> 2) & 1)``.
+CORNER_OFFSETS = np.stack(
+    [(np.arange(8) >> k) & 1 for k in range(3)], axis=-1
+).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class HashEncodingConfig:
+    """Hyper-parameters of the encoding.
+
+    The per-level resolution follows the geometric schedule
+    ``R_l = floor(base * growth^l)`` with growth chosen so level L-1 hits
+    ``finest_resolution``.
+    """
+
+    n_levels: int = 8
+    n_features: int = 2
+    log2_table_size: int = 14
+    base_resolution: int = 16
+    finest_resolution: int = 256
+
+    def __post_init__(self):
+        if self.n_levels < 1:
+            raise ValueError("need at least one level")
+        if self.finest_resolution < self.base_resolution:
+            raise ValueError("finest_resolution must be >= base_resolution")
+
+    @property
+    def table_size(self) -> int:
+        return 1 << self.log2_table_size
+
+    @property
+    def growth_factor(self) -> float:
+        if self.n_levels == 1:
+            return 1.0
+        return np.exp(
+            (np.log(self.finest_resolution) - np.log(self.base_resolution))
+            / (self.n_levels - 1)
+        )
+
+    @property
+    def level_resolutions(self) -> np.ndarray:
+        levels = np.arange(self.n_levels)
+        res = np.floor(self.base_resolution * self.growth_factor**levels)
+        return res.astype(np.int64)
+
+    @property
+    def output_dim(self) -> int:
+        return self.n_levels * self.n_features
+
+    @property
+    def n_parameters(self) -> int:
+        return self.n_levels * self.table_size * self.n_features
+
+    @property
+    def table_bytes_fp16(self) -> int:
+        """On-chip footprint of the feature tables at fp16."""
+        return self.n_parameters * 2
+
+
+def hash_vertices(coords: np.ndarray, table_size: int) -> np.ndarray:
+    """Spatial-hash integer vertex coordinates into table indices.
+
+    ``coords`` is ``(..., 3)`` non-negative integers; returns ``(...,)``
+    indices in ``[0, table_size)``.
+    """
+    coords = np.asarray(coords)
+    if coords.shape[-1] != 3:
+        raise ValueError("coords must have a trailing dimension of 3")
+    c = coords.astype(np.uint64)
+    h = (c[..., 0] * PRIMES[0]) ^ (c[..., 1] * PRIMES[1]) ^ (c[..., 2] * PRIMES[2])
+    return (h % np.uint64(table_size)).astype(np.int64)
+
+
+@dataclass
+class EncodingTrace:
+    """Per-level access records cached for backward and for the simulator.
+
+    ``indices[l]`` is ``(n, 8)`` table indices; ``weights[l]`` the matching
+    trilinear weights; ``corners[l]`` the integer vertex coordinates (the
+    hash-tiling simulation derives bank ids from these).
+    """
+
+    indices: list
+    weights: list
+    corners: list
+    n_points: int
+
+
+class HashEncoding:
+    """The trainable multiresolution hash table."""
+
+    def __init__(self, config: HashEncodingConfig, rng: np.random.Generator = None):
+        self.config = config
+        rng = rng or np.random.default_rng(0)
+        # Instant-NGP initializes tables uniformly in [-1e-4, 1e-4].
+        self.tables = rng.uniform(
+            -1e-4,
+            1e-4,
+            size=(config.n_levels, config.table_size, config.n_features),
+        ).astype(np.float64)
+
+    def level_lookup(self, points: np.ndarray, level: int) -> tuple:
+        """Corner coordinates, table indices and weights for one level.
+
+        Returns ``(corners, indices, weights)`` with shapes
+        ``(n, 8, 3)``, ``(n, 8)`` and ``(n, 8)``.
+        """
+        points = np.atleast_2d(points)
+        resolution = int(self.config.level_resolutions[level])
+        scaled = points * resolution
+        base = np.floor(scaled).astype(np.int64)
+        base = np.clip(base, 0, resolution - 1)
+        frac = scaled - base
+        corners = base[:, None, :] + CORNER_OFFSETS[None, :, :]
+        indices = hash_vertices(corners, self.config.table_size)
+        # Trilinear weights: product over axes of f or (1 - f).
+        offs = CORNER_OFFSETS[None, :, :]
+        terms = np.where(offs == 1, frac[:, None, :], 1.0 - frac[:, None, :])
+        weights = terms.prod(axis=-1)
+        return corners, indices, weights
+
+    def forward(self, points: np.ndarray) -> tuple:
+        """Encode points; returns ``(features, trace)``.
+
+        ``features`` is ``(n, n_levels * n_features)`` with level-major
+        layout; ``trace`` feeds :meth:`backward` and the hash-tiling
+        simulator.
+        """
+        points = np.atleast_2d(points)
+        n = points.shape[0]
+        cfg = self.config
+        features = np.empty((n, cfg.output_dim))
+        all_indices, all_weights, all_corners = [], [], []
+        for level in range(cfg.n_levels):
+            corners, indices, weights = self.level_lookup(points, level)
+            gathered = self.tables[level][indices]  # (n, 8, F)
+            features[:, level * cfg.n_features : (level + 1) * cfg.n_features] = (
+                weights[:, :, None] * gathered
+            ).sum(axis=1)
+            all_indices.append(indices)
+            all_weights.append(weights)
+            all_corners.append(corners)
+        trace = EncodingTrace(
+            indices=all_indices, weights=all_weights, corners=all_corners, n_points=n
+        )
+        return features, trace
+
+    def backward(self, grad_features: np.ndarray, trace: EncodingTrace) -> np.ndarray:
+        """Gradient of the loss w.r.t. the tables.
+
+        ``grad_features`` is ``(n, n_levels * n_features)``; returns an
+        array shaped like :attr:`tables`.  This is the scatter-accumulate
+        ("inverse adder tree") workload the reconfigurable interpolation
+        array executes in training mode.
+        """
+        grad_features = np.atleast_2d(grad_features)
+        if grad_features.shape != (trace.n_points, self.config.output_dim):
+            raise ValueError("grad_features shape mismatch with trace")
+        cfg = self.config
+        grad_tables = np.zeros_like(self.tables)
+        for level in range(cfg.n_levels):
+            g = grad_features[:, level * cfg.n_features : (level + 1) * cfg.n_features]
+            contrib = trace.weights[level][:, :, None] * g[:, None, :]  # (n, 8, F)
+            flat_idx = trace.indices[level].reshape(-1)
+            np.add.at(
+                grad_tables[level],
+                flat_idx,
+                contrib.reshape(-1, cfg.n_features),
+            )
+        return grad_tables
+
+    def parameters(self) -> dict:
+        return {"hash_tables": self.tables}
+
+    def load_parameters(self, params: dict) -> None:
+        tables = params["hash_tables"]
+        if tables.shape != self.tables.shape:
+            raise ValueError("hash table shape mismatch")
+        self.tables = tables

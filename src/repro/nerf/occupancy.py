@@ -1,0 +1,157 @@
+"""Occupancy grid: empty-space skipping and the MoE gating function.
+
+A coarse binary grid over the normalized unit cube marks which cells may
+contain matter.  Stage I only emits samples in occupied cells, which both
+cuts Stage II/III work and — the paper's key multi-chip insight — acts as
+a built-in per-expert gating function: an expert whose grid is empty at a
+location contributes nothing there, so expert outputs can be fused by
+plain addition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class OccupancyGrid:
+    """Binary occupancy over the unit cube with EMA density statistics.
+
+    Mirrors Instant-NGP's maintenance scheme: a per-cell exponential
+    moving average of sampled densities, thresholded into a binary mask.
+    """
+
+    def __init__(self, resolution: int = 32, threshold: float = 0.01, ema_decay: float = 0.95):
+        if resolution < 1:
+            raise ValueError("resolution must be positive")
+        if not 0.0 <= ema_decay < 1.0:
+            raise ValueError("ema_decay must be in [0, 1)")
+        self.resolution = resolution
+        self.threshold = threshold
+        self.ema_decay = ema_decay
+        self.density_ema = np.zeros((resolution,) * 3, dtype=np.float32)
+        self.mask = np.ones((resolution,) * 3, dtype=bool)
+
+    @property
+    def n_cells(self) -> int:
+        return self.resolution**3
+
+    @property
+    def occupancy_fraction(self) -> float:
+        return float(self.mask.mean())
+
+    def cell_indices(self, points: np.ndarray) -> np.ndarray:
+        """Map unit-cube points to integer cell coordinates ``(n, 3)``."""
+        points = np.atleast_2d(points)
+        cells = np.floor(points * self.resolution).astype(np.int64)
+        return np.clip(cells, 0, self.resolution - 1)
+
+    def query(self, points: np.ndarray) -> np.ndarray:
+        """Boolean occupancy of each point (points outside [0,1]^3 are
+        clamped to the boundary cells)."""
+        cells = self.cell_indices(points)
+        return self.mask[cells[:, 0], cells[:, 1], cells[:, 2]]
+
+    def update(self, points: np.ndarray, densities: np.ndarray) -> None:
+        """Fold sampled densities into the EMA and refresh the mask."""
+        points = np.atleast_2d(points)
+        densities = np.asarray(densities, dtype=np.float32).reshape(-1)
+        if points.shape[0] != densities.shape[0]:
+            raise ValueError("points and densities must align")
+        self.density_ema *= self.ema_decay
+        if points.shape[0]:
+            cells = self.cell_indices(points)
+            flat = np.ravel_multi_index(
+                (cells[:, 0], cells[:, 1], cells[:, 2]), self.mask.shape
+            )
+            # Max-reduce densities into cells (match Instant-NGP: a cell is
+            # as occupied as its densest observed sample).
+            updates = np.zeros(self.n_cells, dtype=np.float32)
+            np.maximum.at(updates, flat, densities)
+            ema_flat = self.density_ema.reshape(-1)
+            np.maximum(ema_flat, updates, out=ema_flat)
+        self.mask = self.density_ema > self.threshold
+
+    def set_from_function(self, density_fn, samples_per_cell: int = 2, rng=None) -> None:
+        """Initialize the grid from an analytic density field.
+
+        Used by the procedural datasets (which know their geometry) and by
+        tests that need a deterministic grid.
+        """
+        rng = rng or np.random.default_rng(0)
+        r = self.resolution
+        base = (np.stack(np.meshgrid(*([np.arange(r)] * 3), indexing="ij"), axis=-1)
+                .reshape(-1, 3)
+                .astype(np.float64))
+        best = np.zeros(self.n_cells, dtype=np.float32)
+        for _ in range(samples_per_cell):
+            jitter = rng.uniform(0.0, 1.0, size=base.shape)
+            points = (base + jitter) / r
+            density = np.asarray(density_fn(points), dtype=np.float32).reshape(-1)
+            np.maximum(best, density, out=best)
+        self.density_ema = best.reshape((r,) * 3)
+        self.mask = self.density_ema > self.threshold
+
+    def occupied_aabbs(self) -> tuple:
+        """Unit-space bounds of every occupied cell: ``(mins, maxs)``.
+
+        The multi-chip gate uses this to decide which samples an expert
+        must process.
+        """
+        cells = np.argwhere(self.mask)
+        mins = cells / self.resolution
+        maxs = (cells + 1) / self.resolution
+        return mins, maxs
+
+
+def traverse_grid(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    grid: "OccupancyGrid",
+    t_starts: np.ndarray,
+    t_ends: np.ndarray,
+) -> np.ndarray:
+    """Amanatides-Woo DDA: cells each ray visits between entry and exit.
+
+    This is the hardware-aware sampling walk the Stage I cores perform:
+    instead of testing every fine marching step, a core strides the
+    occupancy grid cell by cell and only descends to sample generation
+    inside occupied cells.  Returns the per-ray count of grid cells
+    visited — the workload statistic behind the sampling cores'
+    empty-space-skipping cost.
+
+    Directions must be unit-norm (as the marcher normalizes them) and
+    ``t_starts``/``t_ends`` are the unit-cube entry/exit distances.
+    """
+    origins = np.atleast_2d(origins)
+    directions = np.atleast_2d(directions)
+    t_starts = np.asarray(t_starts, dtype=np.float64).reshape(-1)
+    t_ends = np.asarray(t_ends, dtype=np.float64).reshape(-1)
+    n = origins.shape[0]
+    if not (directions.shape[0] == t_starts.shape[0] == t_ends.shape[0] == n):
+        raise ValueError("per-ray arrays must align")
+    res = grid.resolution
+    counts = np.zeros(n, dtype=np.int64)
+    eps = 1e-9
+    # Vectorized over rays, stepping cell boundaries one at a time; the
+    # loop bound is the maximum Manhattan cell distance (3 * res).
+    t = np.maximum(t_starts, 0.0) + eps
+    active = t < t_ends
+    safe_dir = np.where(np.abs(directions) < 1e-12, 1e-12, directions)
+    for _ in range(3 * res + 2):
+        if not active.any():
+            break
+        counts[active] += 1
+        pos = origins[active] + t[active, None] * directions[active]
+        cell = np.clip(np.floor(pos * res), 0, res - 1)
+        # Distance to the next cell boundary along each axis.
+        next_boundary = np.where(
+            safe_dir[active] > 0, (cell + 1) / res, cell / res
+        )
+        t_axis = (next_boundary - origins[active]) / safe_dir[active]
+        t_next = t_axis.min(axis=1)
+        t_new = np.maximum(t_next, t[active]) + eps
+        t_full = t.copy()
+        t_full[active] = t_new
+        t = t_full
+        active = active & (t < t_ends)
+    return counts

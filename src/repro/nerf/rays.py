@@ -1,0 +1,128 @@
+"""Ray generation: the front of NeRF pipeline Stage I.
+
+For each target pixel, a ray is cast from the camera center through the
+pixel; Stage I then intersects the ray with the (normalized) model
+bounding box and marches samples along it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .camera import Camera
+
+
+@dataclass
+class RayBundle:
+    """A batch of rays.
+
+    Attributes
+    ----------
+    origins:
+        ``(n, 3)`` world-space ray origins.
+    directions:
+        ``(n, 3)`` unit-norm world-space directions.
+    pixel_ids:
+        ``(n,)`` flat pixel index of each ray in its source image, or -1
+        when the bundle was not generated from an image grid.
+    """
+
+    origins: np.ndarray
+    directions: np.ndarray
+    pixel_ids: np.ndarray
+
+    def __post_init__(self):
+        self.origins = np.atleast_2d(np.asarray(self.origins, dtype=np.float64))
+        self.directions = np.atleast_2d(np.asarray(self.directions, dtype=np.float64))
+        self.pixel_ids = np.atleast_1d(np.asarray(self.pixel_ids, dtype=np.int64))
+        if self.origins.shape != self.directions.shape:
+            raise ValueError("origins and directions must have matching shapes")
+        if self.origins.shape[0] != self.pixel_ids.shape[0]:
+            raise ValueError("pixel_ids length must match ray count")
+
+    def __len__(self) -> int:
+        return self.origins.shape[0]
+
+    def select(self, mask_or_idx) -> "RayBundle":
+        """Sub-bundle selected by boolean mask or index array."""
+        return RayBundle(
+            origins=self.origins[mask_or_idx],
+            directions=self.directions[mask_or_idx],
+            pixel_ids=self.pixel_ids[mask_or_idx],
+        )
+
+
+def pixel_directions(camera: Camera, pixel_ids: np.ndarray) -> np.ndarray:
+    """Unit world-space directions through the given flat pixel indices."""
+    pixel_ids = np.asarray(pixel_ids, dtype=np.int64)
+    if pixel_ids.size and (pixel_ids.min() < 0 or pixel_ids.max() >= camera.n_pixels):
+        raise ValueError("pixel id out of range")
+    ys, xs = np.divmod(pixel_ids, camera.width)
+    # Camera-space direction through the pixel center (NeRF convention:
+    # x right, y up, looking down -z).
+    cam_dirs = np.stack(
+        [
+            (xs + 0.5 - camera.width / 2.0) / camera.focal,
+            -(ys + 0.5 - camera.height / 2.0) / camera.focal,
+            -np.ones_like(xs, dtype=np.float64),
+        ],
+        axis=-1,
+    )
+    world_dirs = cam_dirs @ camera.c2w[:3, :3].T
+    world_dirs /= np.linalg.norm(world_dirs, axis=-1, keepdims=True)
+    return world_dirs
+
+
+def generate_rays(camera: Camera, pixel_ids: np.ndarray = None) -> RayBundle:
+    """Rays for the given pixels (default: every pixel, row-major)."""
+    if pixel_ids is None:
+        pixel_ids = np.arange(camera.n_pixels, dtype=np.int64)
+    else:
+        pixel_ids = np.asarray(pixel_ids, dtype=np.int64)
+    directions = pixel_directions(camera, pixel_ids)
+    origins = np.broadcast_to(camera.origin, directions.shape).copy()
+    return RayBundle(origins=origins, directions=directions, pixel_ids=pixel_ids)
+
+
+def sample_training_rays(
+    cameras: list,
+    images: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> tuple:
+    """Random training rays plus their ground-truth colors.
+
+    Parameters
+    ----------
+    cameras:
+        List of :class:`Camera`, one per training image.
+    images:
+        ``(n_views, h, w, 3)`` float array in [0, 1].
+    batch_size:
+        Number of rays to draw (uniform over all pixels of all views).
+
+    Returns
+    -------
+    (RayBundle, colors):
+        The rays and their ``(batch_size, 3)`` supervision colors.
+    """
+    if len(cameras) != images.shape[0]:
+        raise ValueError("one camera per image required")
+    n_views = len(cameras)
+    h, w = images.shape[1], images.shape[2]
+    view_ids = rng.integers(0, n_views, size=batch_size)
+    pixel_ids = rng.integers(0, h * w, size=batch_size)
+    origins = np.empty((batch_size, 3))
+    directions = np.empty((batch_size, 3))
+    colors = np.empty((batch_size, 3))
+    for view in np.unique(view_ids):
+        mask = view_ids == view
+        pix = pixel_ids[mask]
+        bundle = generate_rays(cameras[view], pix)
+        origins[mask] = bundle.origins
+        directions[mask] = bundle.directions
+        colors[mask] = images[view].reshape(-1, 3)[pix]
+    rays = RayBundle(origins=origins, directions=directions, pixel_ids=pixel_ids)
+    return rays, colors

@@ -1,0 +1,87 @@
+"""Full-image rendering: run the three-stage pipeline for every pixel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .aabb import SceneNormalizer
+from .camera import Camera
+from .occupancy import OccupancyGrid
+from .rays import generate_rays
+from .sampling import RayMarcher, SampleBatch
+from .volume_rendering import composite
+
+
+def render_rays(
+    model,
+    origins: np.ndarray,
+    directions: np.ndarray,
+    marcher: RayMarcher,
+    occupancy: OccupancyGrid = None,
+    background: float = 1.0,
+) -> tuple:
+    """Render a ray batch already expressed in unit-cube space.
+
+    Returns ``(colors, batch, result)`` so callers can reuse the sample
+    batch (e.g. to extract workload traces for the simulator).
+    """
+    batch = marcher.sample(origins, directions, occupancy=occupancy)
+    if len(batch) == 0:
+        n = np.atleast_2d(origins).shape[0]
+        colors = np.full((n, 3), background, dtype=np.float64)
+        return colors, batch, None
+    sigma, rgb, _ = model.forward(batch.positions, batch.directions)
+    result = composite(
+        sigma,
+        rgb,
+        batch.deltas,
+        batch.ts,
+        batch.ray_idx,
+        batch.n_rays,
+        background=background,
+    )
+    return result.colors, batch, result
+
+
+def render_image(
+    model,
+    camera: Camera,
+    normalizer: SceneNormalizer,
+    marcher: RayMarcher,
+    occupancy: OccupancyGrid = None,
+    background: float = 1.0,
+    chunk: int = 8192,
+) -> np.ndarray:
+    """Render a full image, chunked to bound peak memory.
+
+    Returns an ``(h, w, 3)`` float image in [0, 1].
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+    rays = generate_rays(camera)
+    origins, directions = normalizer.rays_to_unit(rays.origins, rays.directions)
+    out = np.empty((camera.n_pixels, 3))
+    for start in range(0, camera.n_pixels, chunk):
+        stop = min(start + chunk, camera.n_pixels)
+        colors, _, _ = render_rays(
+            model,
+            origins[start:stop],
+            directions[start:stop],
+            marcher,
+            occupancy=occupancy,
+            background=background,
+        )
+        out[start:stop] = colors
+    return np.clip(out, 0.0, 1.0).reshape(camera.height, camera.width, 3)
+
+
+def batch_to_stats(batch: SampleBatch) -> dict:
+    """Summarize a sample batch for logging or trace extraction."""
+    per_ray = batch.samples_per_ray
+    return {
+        "n_rays": batch.n_rays,
+        "n_samples": len(batch),
+        "candidates": batch.candidates,
+        "mean_samples_per_ray": float(per_ray.mean()) if batch.n_rays else 0.0,
+        "max_samples_per_ray": int(per_ray.max()) if batch.n_rays else 0,
+    }

@@ -1,0 +1,176 @@
+"""Training loop: instant reconstruction in software.
+
+Reproduces the Instant-NGP training recipe the accelerator executes:
+random ray batches, occupancy-gated marching, MSE on composited pixels,
+Adam on hash tables + MLPs, periodic occupancy refresh.  Hooks let the
+experiments capture workload traces (for the cycle simulator) and apply
+quantization (for the Table II study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .aabb import SceneNormalizer
+from .occupancy import OccupancyGrid
+from .optimizer import Adam, mse_loss
+from .rays import sample_training_rays
+from .renderer import render_image
+from .sampling import RayMarcher, SamplerConfig
+from .volume_rendering import composite, composite_backward, psnr
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Training hyper-parameters."""
+
+    batch_rays: int = 1024
+    lr: float = 1e-2
+    background: float = 1.0
+    #: Refresh the occupancy grid every this many iterations (0 = never).
+    occupancy_interval: int = 16
+    occupancy_resolution: int = 32
+    occupancy_threshold: float = 0.05
+    max_samples_per_ray: int = 64
+    seed: int = 0
+
+
+@dataclass
+class TrainState:
+    """Mutable bookkeeping of one training run."""
+
+    iteration: int = 0
+    losses: list = field(default_factory=list)
+    psnr_history: list = field(default_factory=list)
+
+
+class Trainer:
+    """Trains a radiance-field model against a posed image set."""
+
+    def __init__(
+        self,
+        model,
+        cameras: list,
+        images: np.ndarray,
+        normalizer: SceneNormalizer,
+        config: TrainerConfig = TrainerConfig(),
+    ):
+        if len(cameras) == 0:
+            raise ValueError("need at least one training view")
+        self.model = model
+        self.cameras = cameras
+        self.images = np.asarray(images, dtype=np.float64)
+        self.normalizer = normalizer
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.marcher = RayMarcher(
+            SamplerConfig(max_samples=config.max_samples_per_ray, jitter=True)
+        )
+        self.occupancy = OccupancyGrid(
+            resolution=config.occupancy_resolution,
+            threshold=config.occupancy_threshold,
+        )
+        self.optimizer = Adam(model.parameters(), lr=config.lr)
+        self.state = TrainState()
+        #: Set by experiments to intercept each step (e.g. quantization).
+        self.post_step_hook = None
+        #: Last sample batch, for workload-trace extraction.
+        self.last_batch = None
+
+    def train_step(self) -> float:
+        """One optimization step; returns the batch loss."""
+        cfg = self.config
+        rays, target = sample_training_rays(
+            self.cameras, self.images, cfg.batch_rays, self.rng
+        )
+        origins, directions = self.normalizer.rays_to_unit(
+            rays.origins, rays.directions
+        )
+        batch = self.marcher.sample(
+            origins, directions, occupancy=self.occupancy, rng=self.rng
+        )
+        self.last_batch = batch
+        if len(batch) == 0:
+            # Degenerate batch (all empty space): skip the step entirely.
+            self.state.iteration += 1
+            self.state.losses.append(float("nan"))
+            return float("nan")
+        sigma, rgb, cache = self.model.forward(batch.positions, batch.directions)
+        result = composite(
+            sigma,
+            rgb,
+            batch.deltas,
+            batch.ts,
+            batch.ray_idx,
+            batch.n_rays,
+            background=cfg.background,
+        )
+        loss, grad_colors = mse_loss(result.colors, target)
+        grad_sigma, grad_rgb = composite_backward(
+            grad_colors,
+            result,
+            sigma,
+            rgb,
+            batch.deltas,
+            batch.ray_idx,
+            batch.n_rays,
+            background=cfg.background,
+        )
+        grads = self.model.backward(grad_sigma, grad_rgb, cache)
+        self.optimizer.step(grads)
+        self.state.iteration += 1
+        self.state.losses.append(loss)
+        if (
+            cfg.occupancy_interval
+            and self.state.iteration % cfg.occupancy_interval == 0
+        ):
+            self._refresh_occupancy()
+        if self.post_step_hook is not None:
+            self.post_step_hook(self)
+        return loss
+
+    def train(self, n_iterations: int, eval_every: int = 0, eval_views: int = 2) -> TrainState:
+        """Run ``n_iterations`` steps, optionally tracking test PSNR."""
+        for _ in range(n_iterations):
+            self.train_step()
+            if eval_every and self.state.iteration % eval_every == 0:
+                self.state.psnr_history.append(
+                    (self.state.iteration, self.eval_psnr(n_views=eval_views))
+                )
+        return self.state
+
+    def eval_psnr(self, cameras: list = None, images: np.ndarray = None, n_views: int = 2) -> float:
+        """Average PSNR over held-out (or the first ``n_views`` training) views."""
+        if cameras is None:
+            cameras = self.cameras[:n_views]
+            images = self.images[:n_views]
+        scores = []
+        for camera, target in zip(cameras, images):
+            rendered = render_image(
+                self.model,
+                camera,
+                self.normalizer,
+                self.marcher,
+                occupancy=self.occupancy,
+                background=self.config.background,
+            )
+            scores.append(psnr(rendered, target))
+        return float(np.mean(scores))
+
+    def _refresh_occupancy(self) -> None:
+        """Re-estimate occupancy from the current density field."""
+        res = self.occupancy.resolution
+        base = (
+            np.stack(np.meshgrid(*([np.arange(res)] * 3), indexing="ij"), axis=-1)
+            .reshape(-1, 3)
+            .astype(np.float64)
+        )
+        jitter = self.rng.uniform(0.0, 1.0, size=base.shape)
+        points = (base + jitter) / res
+        density = self.model.density(points)
+        self.occupancy.update(points, density)
+        # Never let the grid collapse to fully-empty early in training.
+        if not self.occupancy.mask.any():
+            self.occupancy.mask[:] = True

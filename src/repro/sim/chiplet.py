@@ -1,0 +1,127 @@
+"""Chiplet-based multi-chip scaling (the Sec. VIII discussion).
+
+In the PCB system, supporting a model larger than the chips' combined
+SRAM means adding more chips.  With chiplets, the high in-package
+bandwidth lets a buffer in the I/O module cache the model working set:
+the computing chips are *temporally* reused, streaming one model shard at
+a time, while the off-package link stays at the 0.6 GB/s USB budget.
+The cost is I/O-module silicon for the buffer — the rising curve of
+Fig. 14.
+
+This simulator quantifies that trade: runtime inflates by the number of
+shard passes (plus any chiplet-link stall), and the I/O module grows with
+the buffered bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hw.area import AreaModel
+from ..hw.interconnect import CHIPLET_LINK, LinkSpec, USB_3_2_GEN1
+from .chip import ChipConfig, SingleChipAccelerator
+from .trace import WorkloadTrace
+
+#: Logic of the I/O module without any buffer (fusion adder, PHYs, control).
+IO_MODULE_BASE_GATES = 420000
+
+
+@dataclass(frozen=True)
+class ChipletConfig:
+    """Static configuration of the chiplet-based system."""
+
+    n_chips: int = 4
+    chip: ChipConfig = field(default_factory=ChipConfig.scaled)
+    link: LinkSpec = CHIPLET_LINK
+    off_package: LinkSpec = USB_3_2_GEN1
+
+    def __post_init__(self):
+        if self.n_chips < 1:
+            raise ValueError("need at least one chip")
+
+    @property
+    def resident_table_bytes(self) -> float:
+        """Feature-table bytes the compute chips hold at once."""
+        return self.n_chips * self.chip.feature_sram_kb * 1024
+
+
+@dataclass
+class ChipletReport:
+    """Outcome of one chiplet-system simulation."""
+
+    mode: str
+    shard_passes: int
+    compute_s: float
+    stream_s: float
+    runtime_s: float
+    io_buffer_bytes: float
+    io_module_mm2: float
+    off_package_gbps: float
+
+    @property
+    def temporal_reuse_overhead(self) -> float:
+        """Runtime vs a hypothetical spatially scaled system (which would
+        run the whole model in one pass): >= shard_passes."""
+        single_pass = self.compute_s / max(self.shard_passes, 1)
+        if single_pass <= 0:
+            return 1.0
+        return self.runtime_s / single_pass
+
+
+class ChipletSystem:
+    """Temporal model-sharding on a chiplet package."""
+
+    def __init__(self, config: ChipletConfig = ChipletConfig()):
+        self.config = config
+        self.chip = SingleChipAccelerator(config.chip)
+
+    def shard_passes(self, model_table_bytes: float) -> int:
+        """Temporal passes needed to cover the model."""
+        resident = self.config.resident_table_bytes
+        return max(1, int(np.ceil(model_table_bytes / resident)))
+
+    def io_buffer_bytes(self, model_table_bytes: float) -> float:
+        """Buffered bytes: whatever exceeds the chips' resident capacity."""
+        return max(0.0, model_table_bytes - self.config.resident_table_bytes)
+
+    def io_module_area_mm2(self, model_table_bytes: float) -> float:
+        """Fig. 14: base logic plus buffer SRAM."""
+        area = AreaModel(self.config.chip.tech)
+        return area.logic_area_mm2(IO_MODULE_BASE_GATES) + area.sram_area_mm2(
+            self.io_buffer_bytes(model_table_bytes) / 1024.0
+        )
+
+    def simulate(
+        self,
+        trace: WorkloadTrace,
+        model_table_bytes: float,
+        training: bool = False,
+        workload_scale: float = 1.0,
+    ) -> ChipletReport:
+        """Runtime of one workload when the model needs sharding.
+
+        Every shard pass re-runs the sample stream against one model
+        shard (each sample needs every level group, so work replicates
+        across passes); shard swaps stream over the in-package link,
+        overlapped with compute (double-buffered).
+        """
+        passes = self.shard_passes(model_table_bytes)
+        base = self.chip.simulate(
+            trace, training=training, workload_scale=workload_scale
+        )
+        compute = base.runtime_s * passes
+        shard_bytes = min(model_table_bytes, self.config.resident_table_bytes)
+        stream = passes * self.config.link.transfer_s(shard_bytes) if passes > 1 else 0.0
+        runtime = max(compute, stream)
+        return ChipletReport(
+            mode=base.mode,
+            shard_passes=passes,
+            compute_s=compute,
+            stream_s=stream,
+            runtime_s=runtime,
+            io_buffer_bytes=self.io_buffer_bytes(model_table_bytes),
+            io_module_mm2=self.io_module_area_mm2(model_table_bytes),
+            off_package_gbps=min(0.6, self.config.off_package.bandwidth_gbps),
+        )

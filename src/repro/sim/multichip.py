@@ -1,0 +1,202 @@
+"""The Fusion-3D multi-chip system: four chips + an I/O module (Sec. V).
+
+Level-1 (MoE) tiling broadcasts the camera/ray-generation spec to every
+chip; each chip runs the complete pipeline on its own expert (gated by
+its own occupancy grid) and ships one partial pixel per ray back to the
+I/O module, which fuses by addition.  Chip-to-chip traffic therefore scales with *rays*,
+not *samples* — the 94% communication saving of Fig. 12(a) against the
+conventional layer-split mapping, whose chips exchange per-sample feature
+vectors at every stage boundary.
+
+The system-level clock is set by the slowest chip (Challenge C4); the
+two-level hash tiling removes the bank-conflict variance that would
+otherwise skew per-chip runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hw.interconnect import LinkSpec, PCB_CHIP_LINK, USB_3_2_GEN1
+from .chip import ChipConfig, ChipReport, SingleChipAccelerator
+from .trace import WorkloadTrace
+
+#: Bytes to broadcast one batch's camera pose / ray-generation spec.
+#: Rays are generated on-chip (Stage I), so per-ray broadcast is zero.
+CAMERA_BROADCAST_BYTES = 128
+#: Bytes per partial pixel an expert returns (RGB fp16; opacity is folded
+#: into the fused-background correction).
+PARTIAL_PIXEL_BYTES = 6
+#: Feature bytes per sample a layer-split mapping must exchange per
+#: stage boundary (L=16 levels x 2 fp16 features).
+FEATURE_BYTES_PER_SAMPLE = 64
+
+
+@dataclass(frozen=True)
+class MultiChipConfig:
+    """Static configuration of the PCB multi-chip system."""
+
+    n_chips: int = 4
+    chip: ChipConfig = field(default_factory=ChipConfig.scaled)
+    chip_link: LinkSpec = PCB_CHIP_LINK
+    host_link: LinkSpec = USB_3_2_GEN1
+    #: I/O-module overheads measured against the four-chip totals
+    #: (paper: 0.5% area, 2.3% SRAM).
+    io_area_fraction: float = 0.005
+    io_sram_fraction: float = 0.023
+    #: Static + fusion-adder power of the FPGA/ASIC I/O module, watts.
+    io_power_w: float = 0.12
+
+    def __post_init__(self):
+        if self.n_chips < 1:
+            raise ValueError("need at least one chip")
+
+
+@dataclass
+class CommunicationReport:
+    """Chip-to-chip traffic of the MoE mapping vs the layer-split baseline."""
+
+    moe_bytes: float
+    layer_split_bytes: float
+    transfer_s: float
+    energy_j: float
+
+    @property
+    def saving(self) -> float:
+        if self.layer_split_bytes <= 0:
+            return 0.0
+        return 1.0 - self.moe_bytes / self.layer_split_bytes
+
+
+@dataclass
+class MultiChipReport:
+    """Outcome of simulating one workload on the multi-chip system."""
+
+    mode: str
+    chip_reports: list
+    runtime_s: float
+    power_w: float
+    communication: CommunicationReport
+    n_rays: int
+
+    @property
+    def n_samples(self) -> float:
+        """Fused-pipeline samples: the experts march the same broadcast
+        rays in lockstep, so system throughput counts one expert's samples
+        (the paper's throughput/W accounting)."""
+        return float(np.mean([r.n_samples for r in self.chip_reports]))
+
+    @property
+    def samples_per_second(self) -> float:
+        if self.runtime_s <= 0:
+            return 0.0
+        return self.n_samples / self.runtime_s
+
+    @property
+    def throughput_per_watt(self) -> float:
+        if self.power_w <= 0:
+            return 0.0
+        return self.samples_per_second / self.power_w
+
+    @property
+    def energy_j(self) -> float:
+        return self.power_w * self.runtime_s
+
+    @property
+    def chip_imbalance(self) -> float:
+        """Slowest over mean chip runtime (1.0 = perfectly balanced)."""
+        runtimes = [r.runtime_s for r in self.chip_reports]
+        mean = float(np.mean(runtimes))
+        if mean <= 0:
+            return 1.0
+        return float(np.max(runtimes)) / mean
+
+
+class MultiChipSystem:
+    """Cycle/energy simulator of the four-chip Fusion-3D board."""
+
+    def __init__(self, config: MultiChipConfig = MultiChipConfig()):
+        self.config = config
+        self.chips = [
+            SingleChipAccelerator(config.chip) for _ in range(config.n_chips)
+        ]
+
+    def simulate(
+        self,
+        chip_traces: list,
+        training: bool = False,
+        workload_scale: float = 1.0,
+    ) -> MultiChipReport:
+        """Simulate one batch: ``chip_traces[i]`` is chip *i*'s view of the
+        broadcast workload (its expert's occupancy gating applied).
+        ``workload_scale`` extrapolates the batch linearly, as in
+        :meth:`SingleChipAccelerator.simulate`."""
+        if len(chip_traces) != self.config.n_chips:
+            raise ValueError("one trace per chip required")
+        reports = [
+            chip.simulate(trace, training=training, workload_scale=workload_scale)
+            for chip, trace in zip(self.chips, chip_traces)
+        ]
+        comm = self.communication(
+            chip_traces, training=training, workload_scale=workload_scale
+        )
+        # All chips must finish before fusion (C4).  Ray broadcast and
+        # partial-pixel return stream concurrently with compute over each
+        # chip's private link, so the system is limited by whichever is
+        # slower — the 0.6 GB/s links are provisioned to just keep up.
+        runtime = max(max(r.runtime_s for r in reports), comm.transfer_s)
+        chip_power = sum(r.energy_j for r in reports) / runtime
+        power = chip_power + self.config.io_power_w + comm.energy_j / runtime
+        return MultiChipReport(
+            mode="training" if training else "inference",
+            chip_reports=reports,
+            runtime_s=runtime,
+            power_w=power,
+            communication=comm,
+            n_rays=int(round(chip_traces[0].n_rays * workload_scale)),
+        )
+
+    def communication(
+        self, chip_traces: list, training: bool = False, workload_scale: float = 1.0
+    ) -> CommunicationReport:
+        """Traffic accounting: MoE mapping vs layer-split baseline."""
+        cfg = self.config
+        n_rays = chip_traces[0].n_rays * workload_scale
+        # MoE: broadcast the camera spec once (rays are generated
+        # on-chip), one partial pixel back per ray per chip; in training
+        # the fused residual is broadcast back per ray.
+        moe = (
+            cfg.n_chips * CAMERA_BROADCAST_BYTES
+            + cfg.n_chips * n_rays * PARTIAL_PIXEL_BYTES
+        )
+        if training:
+            moe += cfg.n_chips * n_rays * PARTIAL_PIXEL_BYTES
+        # Layer-split baseline: every sample's feature vector crosses one
+        # chip boundary at the Stage II/III split; training returns the
+        # feature gradients as well.
+        total_samples = float(np.mean([t.n_samples for t in chip_traces])) * workload_scale
+        layer_split = total_samples * FEATURE_BYTES_PER_SAMPLE
+        if training:
+            layer_split *= 2.0
+        # Each chip has a private link to the I/O module carrying its own
+        # broadcast copy and partial-pixel return stream.
+        per_link = moe / cfg.n_chips
+        transfer_s = cfg.chip_link.transfer_s(per_link)
+        energy = cfg.chip_link.transfer_energy_j(moe)
+        return CommunicationReport(
+            moe_bytes=moe,
+            layer_split_bytes=layer_split,
+            transfer_s=transfer_s,
+            energy_j=energy,
+        )
+
+    def die_area_mm2(self) -> float:
+        """Total silicon: four chips plus the I/O module overhead."""
+        chips = self.config.n_chips * self.chips[0].die_area_mm2()
+        return chips * (1.0 + self.config.io_area_fraction)
+
+    def sram_kb(self) -> float:
+        chips = self.config.n_chips * self.config.chip.sram_kb
+        return chips * (1.0 + self.config.io_sram_fraction)

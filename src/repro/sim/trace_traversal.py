@@ -1,0 +1,26 @@
+"""DDA cell-visit counting for trace extraction (Stage I mask reads)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nerf.aabb import intersect_unit_cube
+from ..nerf.occupancy import OccupancyGrid, traverse_grid
+
+
+def count_cells_visited(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    occupancy: OccupancyGrid,
+) -> int:
+    """Total occupancy cells the rays' DDA walks visit."""
+    origins = np.atleast_2d(origins)
+    directions = np.atleast_2d(directions)
+    unit = directions / np.linalg.norm(directions, axis=-1, keepdims=True)
+    t0, t1, hit = intersect_unit_cube(origins, unit)
+    if not hit.any():
+        return 0
+    counts = traverse_grid(
+        origins[hit], unit[hit], occupancy, t0[hit], t1[hit]
+    )
+    return int(counts.sum())

@@ -1,0 +1,90 @@
+"""Shared fixtures: tiny configurations that keep the suite fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic
+from repro.nerf.hash_encoding import HashEncoding, HashEncodingConfig
+from repro.nerf.model import InstantNGPModel, ModelConfig
+from repro.nerf.occupancy import OccupancyGrid
+from repro.nerf.trainer import Trainer, TrainerConfig
+from repro.sim.trace import synthetic_trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def tiny_encoding_config():
+    return HashEncodingConfig(
+        n_levels=3, n_features=2, log2_table_size=8, base_resolution=4,
+        finest_resolution=16,
+    )
+
+
+@pytest.fixture
+def tiny_encoding(tiny_encoding_config):
+    return HashEncoding(tiny_encoding_config, rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def tiny_model_config(tiny_encoding_config):
+    return ModelConfig(encoding=tiny_encoding_config, hidden_width=16, geo_features=8)
+
+
+@pytest.fixture
+def tiny_model(tiny_model_config):
+    return InstantNGPModel(tiny_model_config, seed=0)
+
+
+@pytest.fixture(scope="session")
+def mic_dataset():
+    """A small posed dataset of the sparsest scene (session-cached)."""
+    return synthetic.make_dataset("mic", n_views=6, width=24, height=24, gt_steps=64)
+
+
+@pytest.fixture(scope="session")
+def lego_dataset():
+    return synthetic.make_dataset("lego", n_views=6, width=24, height=24, gt_steps=64)
+
+
+@pytest.fixture
+def tiny_trainer(mic_dataset, tiny_model):
+    return Trainer(
+        tiny_model,
+        mic_dataset.cameras,
+        mic_dataset.images,
+        mic_dataset.normalizer,
+        TrainerConfig(
+            batch_rays=128,
+            lr=5e-3,
+            max_samples_per_ray=24,
+            occupancy_resolution=16,
+            occupancy_interval=8,
+        ),
+    )
+
+
+@pytest.fixture
+def full_occupancy():
+    """An occupancy grid that keeps every sample (no gating)."""
+    return OccupancyGrid(resolution=8)
+
+
+@pytest.fixture
+def sample_trace(rng):
+    """A mid-density synthetic workload trace."""
+    return synthetic_trace(
+        n_rays=512, mean_samples_per_ray=8.0, occupancy_fraction=0.3, rng=rng
+    )
+
+
+@pytest.fixture
+def sparse_trace(rng):
+    return synthetic_trace(
+        n_rays=512, mean_samples_per_ray=1.5, occupancy_fraction=0.05, rng=rng
+    )

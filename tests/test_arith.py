@@ -1,0 +1,66 @@
+"""FIEM multiplier: functional exactness and cost model (Fig. 6(d))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.arith import (
+    fiem_cost,
+    fiem_multiply,
+    fiem_savings,
+    int2fp_fpmul_cost,
+    reference_multiply,
+)
+
+
+@given(
+    fp=st.floats(-100.0, 100.0, allow_nan=False, width=16),
+    integer=st.integers(-128, 127),
+)
+@settings(max_examples=120, deadline=None)
+def test_fiem_equals_convert_then_multiply(fp, integer):
+    """The FIEM datapath must be bit-equivalent to INT2FP + FPMUL."""
+    ours = fiem_multiply(np.array([fp]), np.array([integer]))
+    reference = reference_multiply(np.array([fp]), np.array([integer]))
+    np.testing.assert_allclose(ours, reference, rtol=1e-6, atol=1e-12)
+
+
+def test_fiem_handles_zero_and_signs():
+    fp = np.array([0.0, -0.5, 2.0, -2.0], dtype=np.float16)
+    ints = np.array([5, 3, -4, -6])
+    expected = np.array([0.0, -1.5, -8.0, 12.0], dtype=np.float32)
+    assert np.allclose(fiem_multiply(fp, ints), expected)
+
+
+def test_fiem_handles_subnormal_fp16():
+    tiny = np.array([6e-8], dtype=np.float16)  # subnormal in fp16
+    assert np.allclose(
+        fiem_multiply(tiny, np.array([16])),
+        reference_multiply(tiny, np.array([16])),
+        rtol=1e-3,
+    )
+
+
+def test_fiem_rejects_float_integer_operand():
+    with pytest.raises(TypeError):
+        fiem_multiply(np.array([1.0], dtype=np.float16), np.array([1.5]))
+
+
+def test_area_saving_matches_paper():
+    savings = fiem_savings()
+    assert savings["area_saving"] == pytest.approx(0.55, abs=0.02)
+
+
+def test_power_saving_matches_paper():
+    savings = fiem_savings()
+    assert savings["power_saving"] == pytest.approx(0.65, abs=0.02)
+
+
+def test_fiem_strictly_cheaper():
+    assert fiem_cost().gates < int2fp_fpmul_cost().gates
+    assert fiem_cost().energy_pj < int2fp_fpmul_cost().energy_pj
+
+
+def test_cost_area_positive():
+    assert fiem_cost().area_mm2() > 0
+    assert int2fp_fpmul_cost().area_mm2() > fiem_cost().area_mm2()

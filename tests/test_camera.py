@@ -1,0 +1,93 @@
+"""Cameras and pose generation."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.camera import Camera, look_at, ring_poses, sphere_poses
+
+
+def test_look_at_forward_axis_points_at_target():
+    c2w = look_at(np.array([2.0, 0.0, 0.0]), np.array([0.0, 0.0, 0.0]))
+    forward = -c2w[:3, 2]
+    expected = np.array([-1.0, 0.0, 0.0])
+    assert np.allclose(forward, expected)
+
+
+def test_look_at_rotation_is_orthonormal():
+    c2w = look_at((1.0, 2.0, 3.0), (0.0, 0.5, -0.2))
+    rot = c2w[:3, :3]
+    assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-9)
+    assert np.isclose(np.linalg.det(rot), 1.0)
+
+
+def test_look_at_stores_eye_as_translation():
+    eye = np.array([4.0, -1.0, 2.5])
+    c2w = look_at(eye, (0.0, 0.0, 0.0))
+    assert np.allclose(c2w[:3, 3], eye)
+
+
+def test_look_at_rejects_coincident_eye_and_target():
+    with pytest.raises(ValueError):
+        look_at((1.0, 1.0, 1.0), (1.0, 1.0, 1.0))
+
+
+def test_look_at_handles_straight_down_view():
+    c2w = look_at((0.0, 0.0, 5.0), (0.0, 0.0, 0.0))
+    assert np.all(np.isfinite(c2w))
+    assert np.allclose(np.linalg.norm(c2w[:3, :3], axis=0), 1.0)
+
+
+def test_sphere_poses_count_and_radius():
+    poses = sphere_poses(12, radius=3.0)
+    assert len(poses) == 12
+    for pose in poses:
+        assert np.isclose(np.linalg.norm(pose[:3, 3]), 3.0, atol=1e-9)
+
+
+def test_sphere_poses_all_look_inward():
+    for pose in sphere_poses(8, radius=2.0):
+        eye = pose[:3, 3]
+        forward = -pose[:3, 2]
+        # Looking toward the origin: forward is opposite the eye vector.
+        assert np.dot(forward, -eye / np.linalg.norm(eye)) > 0.99
+
+
+def test_sphere_poses_requires_at_least_one_view():
+    with pytest.raises(ValueError):
+        sphere_poses(0, radius=1.0)
+
+
+def test_sphere_poses_jitter_changes_poses(rng):
+    fixed = sphere_poses(4, radius=2.0)
+    jittered = sphere_poses(4, radius=2.0, rng=rng)
+    assert not np.allclose(fixed[1], jittered[1])
+
+
+def test_ring_poses_constant_height():
+    poses = ring_poses(6, radius=3.0, height=1.5)
+    for pose in poses:
+        assert np.isclose(pose[2, 3], 1.5)
+
+
+def test_ring_poses_cover_full_circle():
+    poses = ring_poses(4, radius=2.0, height=0.0)
+    azimuths = sorted(np.arctan2(p[1, 3], p[0, 3]) % (2 * np.pi) for p in poses)
+    gaps = np.diff(azimuths)
+    assert np.allclose(gaps, np.pi / 2, atol=1e-6)
+
+
+def test_camera_requires_4x4_pose():
+    with pytest.raises(ValueError):
+        Camera(width=8, height=8, focal=10.0, c2w=np.eye(3))
+
+
+def test_camera_n_pixels():
+    camera = Camera(width=10, height=6, focal=12.0, c2w=np.eye(4))
+    assert camera.n_pixels == 60
+
+
+def test_camera_origin_property():
+    c2w = np.eye(4)
+    c2w[:3, 3] = [1.0, 2.0, 3.0]
+    camera = Camera(width=4, height=4, focal=4.0, c2w=c2w)
+    assert np.allclose(camera.origin, [1.0, 2.0, 3.0])

@@ -1,0 +1,168 @@
+"""The fast experiment runners: each must reproduce its paper shape.
+
+Training-heavy experiments (table2, fig13a, tensorf_adaptation) are
+exercised end-to-end by the benchmark harness; here we only check their
+machinery via the registry.
+"""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.base import ExperimentResult, _fmt
+
+
+FAST_EXPERIMENTS = (
+    "table1", "table3", "table4", "table5", "table6",
+    "fig3", "fig6", "fig9_10", "fig11", "fig12", "fig13b", "fig14",
+    "speedup_breakdown", "scaling_cost",
+)
+
+
+def test_registry_complete():
+    assert set(runner.REGISTRY) >= set(FAST_EXPERIMENTS)
+    assert {"table2", "fig13a", "tensorf_adaptation"} <= set(runner.REGISTRY)
+    assert len(runner.REGISTRY) == 24
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        runner.run_experiment("table9")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: runner.run_experiment(name, quick=True) for name in FAST_EXPERIMENTS}
+
+
+def test_all_fast_experiments_return_rows(results):
+    for name, result in results.items():
+        assert isinstance(result, ExperimentResult)
+        assert result.rows, name
+        assert result.paper_ref
+        text = result.to_text()
+        assert result.experiment in text
+
+
+def test_table1_our_row_fits_usb(results):
+    summary = results["table1"].summary
+    assert summary["our_requirement_gbps"] <= summary["usb_budget_gbps"]
+    assert summary["min_prior_accelerator_gbps"] > summary["usb_budget_gbps"]
+
+
+def test_table3_headline_calibration(results):
+    s = results["table3"].summary
+    assert s["inference_mps_measured"] == pytest.approx(591, rel=0.10)
+    assert s["training_mps_measured"] == pytest.approx(199, rel=0.10)
+    assert s["training_speedup_vs_instant3d"] > 4.0
+    assert s["inference_speedup_vs_neurex"] > 4.0
+
+
+def test_table4_throughput_per_watt(results):
+    s = results["table4"].summary
+    assert s["inference_mps_per_watt_measured"] == pytest.approx(98.5, rel=0.15)
+    assert s["training_mps_per_watt_measured"] == pytest.approx(33.2, rel=0.15)
+    assert s["training_tpw_vs_2080ti"] > 200.0
+
+
+def test_table5_speedup_ordering(results):
+    rows = {r["scene"]: r for r in results["table5"].rows}
+    # Garden (densest) must show the smallest inference speedup.
+    assert rows["garden"]["inf_speedup"] < rows["bicycle"]["inf_speedup"]
+    assert all(r["inf_speedup"] > 2.0 for r in rows.values())
+    assert all(r["inf_energy_eff"] > 100 for r in rows.values())
+
+
+def test_table6_speedup_band(results):
+    s = results["table6"].summary
+    assert 4.0 < s["min_speedup"] < 10.0
+    assert 15.0 < s["max_speedup"] < 30.0
+    assert s["sparsest_beats_densest"]
+
+
+def test_fig3_volumes(results):
+    s = results["fig3"].summary
+    assert s["total_intermediate_gb"] == pytest.approx(180, rel=0.10)
+    assert s["io_mb"] == pytest.approx(700, rel=0.15)
+
+
+def test_fig6_savings(results):
+    s = results["fig6"].summary
+    assert s["area_saving_measured"] == pytest.approx(0.55, abs=0.02)
+    assert s["power_saving_measured"] == pytest.approx(0.65, abs=0.02)
+    assert s["max_numeric_error"] < 1e-3
+
+
+def test_fig9_10_characterization(results):
+    s = results["fig9_10"].summary
+    assert s["prototype_fps"] >= 30.0
+    assert s["prototype_training_s"] <= 2.2
+    assert s["scaled_die_mm2"] == pytest.approx(8.7, rel=0.1)
+    assert s["stage2_shared_fraction"] == pytest.approx(0.874, abs=0.01)
+    assert s["freq_at_0.95v_mhz"] == pytest.approx(600.0, rel=1e-6)
+
+
+def test_fig11_normalized_speedups(results):
+    s = results["fig11"].summary
+    assert s["mean_inf_speedup_vs_xnx"] == pytest.approx(47.0, rel=0.4)
+    assert s["mean_trn_speedup_vs_xnx"] == pytest.approx(76.0, rel=0.4)
+
+
+def test_fig12_tiling_summary(results):
+    s = results["fig12"].summary
+    assert s["comm_saving"] >= 0.94
+    assert s["tiled_variance"] == 0.0
+    assert s["one_to_one_mm2"] < s["crossbar_mm2"]
+
+
+def test_fig13b_reduction(results):
+    s = results["fig13b"].summary
+    assert s["reduction_at_instant3d_size"] == pytest.approx(0.76, abs=0.04)
+    assert s["our_bw_at_paper_config_gbps"] <= 0.6
+
+
+def test_fig14_area_grows(results):
+    rows = results["fig14"].rows
+    areas = [r["io_module_mm2"] for r in rows]
+    assert all(b >= a for a, b in zip(areas, areas[1:]))
+    assert areas[-1] > 10 * areas[0]
+
+
+def test_speedup_breakdown(results):
+    s = results["speedup_breakdown"].summary
+    assert s["inference_speedup_measured"] == pytest.approx(47.0, rel=0.4)
+    assert s["training_speedup_measured"] == pytest.approx(76.0, rel=0.4)
+
+
+def test_scaling_cost_yield_anchor(results):
+    s = results["scaling_cost"].summary
+    assert s["scaled_rtnerf_yield"] == pytest.approx(0.72, abs=0.02)
+    assert s["per_chip_yield"] > s["monolithic_75mm2_yield"]
+
+
+def test_result_text_rendering():
+    result = ExperimentResult(
+        experiment="x", paper_ref="Table X",
+        rows=[{"a": 1, "b": None}, {"a": 2.5, "b": "y"}],
+        summary={"k": 1.0},
+    )
+    text = result.to_text()
+    assert "Table X" in text
+    assert "-" in text  # None rendered as dash
+    assert "k: 1.00" in text
+
+
+def test_fmt_edge_cases():
+    assert _fmt(None) == "-"
+    assert _fmt(0.0) == "0"
+    assert _fmt(1234.5) == "1.23e+03"
+    assert _fmt(0.001) == "0.001"
+    assert _fmt("text") == "text"
+
+
+def test_cli_list_and_run(capsys):
+    assert runner.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table3" in out
+    assert runner.main(["run", "fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "FIEM" in out or "multiplier" in out

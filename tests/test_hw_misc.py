@@ -1,0 +1,195 @@
+"""Memory clusters, NoC, links, technology curves, yield model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.interconnect import (
+    CHIPLET_LINK,
+    PCB_CHIP_LINK,
+    USB_3_2_GEN1,
+    fits_link,
+    required_bandwidth_gbps,
+)
+from repro.hw.memory_cluster import MemoryCluster, MemoryClusterSpec
+from repro.hw.noc import Noc, NocSpec, crossbar_area_mm2, one_to_one_area_mm2
+from repro.hw.technology import TECH_28NM, Technology
+from repro.hw.yield_model import (
+    ProcessDefects,
+    compare_scaling,
+    cost_per_good_die,
+    cost_per_good_mm2,
+    die_yield,
+    dies_per_wafer,
+)
+
+
+# -- memory clusters -------------------------------------------------------
+
+def test_cluster_capacity():
+    spec = MemoryClusterSpec(n_arrays=2, banks_per_array=8, bank_kb=4.0)
+    assert spec.total_kb == 64.0
+    cluster = MemoryCluster(spec)
+    assert cluster.total_kb == 64.0
+    assert cluster.area_mm2() > 0
+    assert cluster.leakage_mw() > 0
+
+
+def test_cluster_claim_and_release():
+    cluster = MemoryCluster(MemoryClusterSpec(n_arrays=2))
+    cluster.claim(0, "sampling")
+    with pytest.raises(RuntimeError):
+        cluster.claim(0, "interp")
+    cluster.claim(0, "sampling")  # re-claim by owner is fine
+    cluster.release(0)
+    cluster.claim(0, "interp")
+
+
+def test_cluster_claim_bounds():
+    cluster = MemoryCluster(MemoryClusterSpec(n_arrays=2))
+    with pytest.raises(IndexError):
+        cluster.claim(5, "x")
+
+
+def test_ping_pong_pair_and_swap():
+    cluster = MemoryCluster(MemoryClusterSpec(n_arrays=2))
+    ping, pong = cluster.ping_pong_pair("stage1", "stage2")
+    assert cluster.owners() == ["stage1", "stage2"]
+    cluster.swap(ping, pong)
+    assert cluster.owners() == ["stage2", "stage1"]
+
+
+def test_ping_pong_requires_two_free_arrays():
+    cluster = MemoryCluster(MemoryClusterSpec(n_arrays=2))
+    cluster.claim(0, "x")
+    with pytest.raises(RuntimeError):
+        cluster.ping_pong_pair("a", "b")
+
+
+# -- NoC --------------------------------------------------------------------
+
+def test_noc_transfer_cycles():
+    noc = Noc(NocSpec(link_bytes_per_cycle=16, hop_cycles=1))
+    assert noc.transfer_cycles(0) == 0
+    assert noc.transfer_cycles(16) == 2  # one beat + hop
+    assert noc.transfer_cycles(17) == 3
+    with pytest.raises(ValueError):
+        noc.transfer_cycles(-1)
+
+
+def test_noc_energy_and_bandwidth():
+    noc = Noc(NocSpec())
+    assert noc.transfer_energy_pj(100) == pytest.approx(8.0)
+    assert noc.peak_bandwidth_gbps() > 0
+
+
+def test_crossbar_vs_one_to_one_area():
+    """Fig. 12(b): the direct connection is dramatically smaller."""
+    xbar = crossbar_area_mm2(8, 32)
+    direct = one_to_one_area_mm2(8, 32)
+    assert direct < xbar / 5
+
+
+def test_crossbar_area_quadratic_in_ports():
+    small = crossbar_area_mm2(4, 32)
+    big = crossbar_area_mm2(8, 32)
+    # Mux area quadruples; the linear arbitration term softens it a bit.
+    assert big > 3.0 * small
+
+
+# -- off-chip links ----------------------------------------------------------
+
+def test_usb_budget_value():
+    assert USB_3_2_GEN1.bandwidth_gbps == pytest.approx(0.625)
+
+
+def test_link_transfer_time():
+    t = PCB_CHIP_LINK.transfer_s(0.6e9)
+    assert t == pytest.approx(1.0, rel=1e-3)
+    assert PCB_CHIP_LINK.transfer_s(0) == 0.0
+    with pytest.raises(ValueError):
+        PCB_CHIP_LINK.transfer_s(-1)
+
+
+def test_link_energy():
+    assert CHIPLET_LINK.transfer_energy_j(1e9) < PCB_CHIP_LINK.transfer_energy_j(1e9)
+
+
+def test_fits_link():
+    # 1 GB in 2 s = 0.5 GB/s: fits USB, 10 GB in 2 s does not.
+    assert fits_link(1e9, 2.0, USB_3_2_GEN1)
+    assert not fits_link(10e9, 2.0, USB_3_2_GEN1)
+    assert required_bandwidth_gbps(1e9, 2.0) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        required_bandwidth_gbps(1e9, 0.0)
+
+
+def test_sustainable_rate_duty_cycle():
+    assert PCB_CHIP_LINK.sustainable_rate_gbps(0.5) == pytest.approx(0.3)
+    with pytest.raises(ValueError):
+        PCB_CHIP_LINK.sustainable_rate_gbps(0.0)
+
+
+# -- technology ---------------------------------------------------------------
+
+def test_mac_energy_ordering():
+    ops = TECH_28NM.ops
+    assert ops.mac_pj("int8") < ops.mac_pj("int16") < ops.mac_pj("fp16") < ops.mac_pj("fp32")
+    with pytest.raises(ValueError):
+        ops.mac_pj("int4")
+
+
+def test_vf_curve_anchored_and_monotone():
+    tech = Technology()
+    assert tech.frequency_at_voltage(0.95) == pytest.approx(600e6, rel=1e-9)
+    freqs = [tech.frequency_at_voltage(v) for v in (0.5, 0.7, 0.9, 1.05)]
+    assert all(b > a for a, b in zip(freqs, freqs[1:]))
+    assert tech.frequency_at_voltage(0.3) == 0.0
+
+
+def test_cycle_time():
+    assert TECH_28NM.cycle_s == pytest.approx(1.0 / 600e6)
+
+
+# -- yield model ---------------------------------------------------------------
+
+def test_yield_decreases_with_area():
+    assert die_yield(10.0) > die_yield(100.0) > die_yield(600.0)
+
+
+def test_paper_yield_anchor():
+    """The scaled RT-NeRF example: 4 x 18.85 mm^2 yields ~72%."""
+    assert die_yield(4 * 18.85) == pytest.approx(0.72, abs=0.02)
+
+
+def test_yield_validates_area():
+    with pytest.raises(ValueError):
+        die_yield(0.0)
+
+
+def test_dies_per_wafer_decreasing():
+    assert dies_per_wafer(10.0) > dies_per_wafer(100.0) > 0
+
+
+def test_cost_per_good_mm2_grows_with_area():
+    assert cost_per_good_mm2(600.0) > cost_per_good_mm2(20.0)
+
+
+def test_cost_for_oversized_die_raises():
+    with pytest.raises(ValueError):
+        cost_per_good_die(80000.0)
+
+
+def test_compare_scaling_yields():
+    cmp = compare_scaling(total_area_mm2=75.4, n_chips=4)
+    assert cmp.per_chip_yield > cmp.monolithic_yield
+    assert cmp.multi_chip_cost < 4 * cost_per_good_die(75.4)
+
+
+def test_compare_scaling_validation():
+    with pytest.raises(ValueError):
+        compare_scaling(100.0, 0)
+
+
+def test_custom_process_defects():
+    dirty = ProcessDefects(density_per_mm2=0.05)
+    assert die_yield(100.0, dirty) < die_yield(100.0)

@@ -1,0 +1,133 @@
+"""The MLP heads with hand-written backprop."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.mlp import MLP, SH_DIM, spherical_harmonics
+
+
+@pytest.fixture
+def net():
+    return MLP([4, 8, 3], activations=["relu", "sigmoid"], rng=np.random.default_rng(0))
+
+
+def test_forward_shapes(net):
+    x = np.random.default_rng(1).normal(size=(5, 4))
+    out, caches = net.forward(x)
+    assert out.shape == (5, 3)
+    assert len(caches) == 2
+
+
+def test_forward_rejects_wrong_width(net):
+    with pytest.raises(ValueError):
+        net.forward(np.zeros((2, 5)))
+
+
+def test_sigmoid_output_bounded(net):
+    x = np.random.default_rng(2).normal(size=(10, 4)) * 50
+    out, _ = net.forward(x)
+    assert np.all((out > 0) & (out < 1))
+
+
+def test_relu_zeroes_negatives():
+    net = MLP([2, 2], activations=["relu"], rng=np.random.default_rng(0))
+    net.weights[0] = np.eye(2)
+    net.biases[0] = np.zeros(2)
+    out, _ = net.forward(np.array([[-1.0, 2.0]]))
+    assert np.array_equal(out, [[0.0, 2.0]])
+
+
+def test_parameter_count(net):
+    assert net.n_parameters == (4 * 8 + 8) + (8 * 3 + 3)
+    assert net.macs_per_sample() == 4 * 8 + 8 * 3
+
+
+@pytest.mark.parametrize("activations", [
+    ["relu", "none"],
+    ["relu", "sigmoid"],
+    ["softplus", "none"],
+    ["none", "exp"],
+])
+def test_gradients_match_finite_difference(activations):
+    rng = np.random.default_rng(3)
+    net = MLP([3, 5, 2], activations=activations, rng=rng)
+    x = rng.normal(size=(4, 3))
+    out, caches = net.forward(x)
+    grad_out = rng.normal(size=out.shape)
+    grad_in, grads = net.backward(grad_out, caches)
+    eps = 1e-6
+    # Weight gradient check (one entry per layer).
+    for layer in range(net.n_layers):
+        w = net.weights[layer]
+        i, j = 1 % w.shape[0], 0
+        original = w[i, j]
+        w[i, j] = original + eps
+        up, _ = net.forward(x)
+        w[i, j] = original - eps
+        down, _ = net.forward(x)
+        w[i, j] = original
+        numeric = ((up - down) * grad_out).sum() / (2 * eps)
+        assert np.isclose(grads[f"w{layer}"][i, j], numeric, atol=1e-5)
+    # Input gradient check.
+    x2 = x.copy()
+    x2[0, 0] += eps
+    up, _ = net.forward(x2)
+    x2[0, 0] -= 2 * eps
+    down, _ = net.forward(x2)
+    numeric = ((up - down) * grad_out).sum() / (2 * eps)
+    assert np.isclose(grad_in[0, 0], numeric, atol=1e-5)
+
+
+def test_bias_gradient_is_column_sum():
+    rng = np.random.default_rng(4)
+    net = MLP([2, 3], activations=["none"], rng=rng)
+    x = rng.normal(size=(6, 2))
+    out, caches = net.forward(x)
+    grad_out = rng.normal(size=out.shape)
+    _, grads = net.backward(grad_out, caches)
+    assert np.allclose(grads["b0"], grad_out.sum(axis=0))
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        MLP([4])
+    with pytest.raises(ValueError):
+        MLP([4, 2], activations=["relu", "none"])
+    with pytest.raises(ValueError):
+        MLP([4, 2], activations=["swish"])
+
+
+def test_parameters_namespaced():
+    net = MLP([2, 2], name="color", rng=np.random.default_rng(0))
+    assert set(net.parameters()) == {"color.w0", "color.b0"}
+
+
+def test_load_parameters_shape_check(net):
+    params = net.parameters()
+    params["mlp.w0"] = np.zeros((4, 9))
+    with pytest.raises(ValueError):
+        net.load_parameters(params)
+
+
+def test_spherical_harmonics_shape_and_dc():
+    d = np.array([[0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+    sh = spherical_harmonics(d)
+    assert sh.shape == (2, SH_DIM)
+    assert np.allclose(sh[:, 0], 0.28209479177387814)
+
+
+def test_spherical_harmonics_distinguish_directions():
+    a = spherical_harmonics(np.array([[0.0, 0.0, 1.0]]))
+    b = spherical_harmonics(np.array([[0.0, 0.0, -1.0]]))
+    assert not np.allclose(a, b)
+
+
+def test_spherical_harmonics_rotational_symmetry():
+    """The degree-0 band is rotation invariant; the norm of each band is
+    too for unit vectors."""
+    rng = np.random.default_rng(5)
+    dirs = rng.normal(size=(32, 3))
+    dirs /= np.linalg.norm(dirs, axis=-1, keepdims=True)
+    sh = spherical_harmonics(dirs)
+    band1 = np.linalg.norm(sh[:, 1:4], axis=1)
+    assert np.allclose(band1, band1[0], atol=1e-9)

@@ -1,0 +1,124 @@
+"""The full Instant-NGP model: composition and end-to-end gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.model import InstantNGPModel, ModelConfig
+
+
+@pytest.fixture
+def points(rng):
+    return rng.uniform(0, 1, (6, 3))
+
+
+@pytest.fixture
+def dirs(rng):
+    d = rng.normal(size=(6, 3))
+    return d / np.linalg.norm(d, axis=-1, keepdims=True)
+
+
+def test_forward_shapes(tiny_model, points, dirs):
+    sigma, rgb, cache = tiny_model.forward(points, dirs)
+    assert sigma.shape == (6,)
+    assert rgb.shape == (6, 3)
+    assert cache.sigma.shape == (6,)
+
+
+def test_sigma_nonnegative_rgb_bounded(tiny_model, points, dirs):
+    sigma, rgb, _ = tiny_model.forward(points, dirs)
+    assert np.all(sigma >= 0.0)
+    assert np.all((rgb > 0.0) & (rgb < 1.0))
+
+
+def test_density_bias_makes_fresh_model_sparse(tiny_model, points):
+    """Untrained space must read as (nearly) empty so the occupancy grid
+    can prune it (the bias fix for Challenge C1's gating)."""
+    density = tiny_model.density(points)
+    assert np.all(density < 0.2)
+
+
+def test_forward_requires_aligned_inputs(tiny_model, points):
+    with pytest.raises(ValueError):
+        tiny_model.forward(points, np.zeros((3, 3)))
+
+
+def test_color_depends_on_view_direction(tiny_model, points):
+    _, rgb_a, _ = tiny_model.forward(points, np.tile([1.0, 0, 0], (6, 1)))
+    _, rgb_b, _ = tiny_model.forward(points, np.tile([0, 0, 1.0], (6, 1)))
+    assert not np.allclose(rgb_a, rgb_b)
+
+
+def test_density_independent_of_direction(tiny_model, points):
+    s_a, _, _ = tiny_model.forward(points, np.tile([1.0, 0, 0], (6, 1)))
+    s_b, _, _ = tiny_model.forward(points, np.tile([0, 0, 1.0], (6, 1)))
+    assert np.allclose(s_a, s_b)
+    assert np.allclose(tiny_model.density(points), s_a)
+
+
+def test_backward_returns_all_parameter_grads(tiny_model, points, dirs, rng):
+    sigma, rgb, cache = tiny_model.forward(points, dirs)
+    grads = tiny_model.backward(
+        rng.normal(size=sigma.shape), rng.normal(size=rgb.shape), cache
+    )
+    assert set(grads) == set(tiny_model.parameters())
+    for name, grad in grads.items():
+        assert grad.shape == tiny_model.parameters()[name].shape
+
+
+def test_end_to_end_gradient_check(tiny_model, points, dirs, rng):
+    """Finite-difference verification through encoding + both MLPs."""
+    sigma, rgb, cache = tiny_model.forward(points, dirs)
+    g_sigma = rng.normal(size=sigma.shape)
+    g_rgb = rng.normal(size=rgb.shape)
+    grads = tiny_model.backward(g_sigma, g_rgb, cache)
+
+    def loss():
+        s, c, _ = tiny_model.forward(points, dirs)
+        return float((s * g_sigma).sum() + (c * g_rgb).sum())
+
+    eps = 1e-6
+    checks = [
+        ("hash_tables", (0, 5, 1)),
+        ("density.w0", (2, 3)),
+        ("color.w1", (1, 2)),
+        ("color.b2", (0,)),
+    ]
+    params = tiny_model.parameters()
+    for name, idx in checks:
+        p = params[name]
+        original = p[idx]
+        p[idx] = original + eps
+        up = loss()
+        p[idx] = original - eps
+        down = loss()
+        p[idx] = original
+        numeric = (up - down) / (2 * eps)
+        assert np.isclose(grads[name][idx], numeric, atol=1e-4), name
+
+
+def test_parameter_round_trip(tiny_model, tiny_model_config):
+    params = {k: v * 1.5 for k, v in tiny_model.parameters().items()}
+    fresh = InstantNGPModel(tiny_model_config, seed=7)
+    fresh.load_parameters(params)
+    for name, value in fresh.parameters().items():
+        assert np.array_equal(value, params[name])
+
+
+def test_n_parameters(tiny_model):
+    total = sum(v.size for v in tiny_model.parameters().values())
+    assert tiny_model.n_parameters == total
+
+
+def test_exp_density_activation():
+    config = ModelConfig(density_activation="exp")
+    model = InstantNGPModel(config, seed=0)
+    pts = np.random.default_rng(0).uniform(0, 1, (3, 3))
+    assert np.all(model.density(pts) > 0)
+
+
+def test_unknown_density_activation_raises():
+    config = ModelConfig(density_activation="tanh")
+    model = InstantNGPModel.__new__(InstantNGPModel)
+    model.config = config
+    with pytest.raises(ValueError):
+        model._density_activation(np.zeros(2))

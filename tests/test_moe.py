@@ -1,0 +1,152 @@
+"""MoE NeRF: Level-1 tiling fusion and joint training."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.hash_encoding import HashEncodingConfig
+from repro.nerf.model import ModelConfig
+from repro.nerf.moe import MoEConfig, MoENeRF, MoETrainer
+from repro.nerf.trainer import TrainerConfig
+
+
+def _tiny_moe(n_experts=2):
+    model_cfg = ModelConfig(
+        encoding=HashEncodingConfig(
+            n_levels=3, log2_table_size=8, base_resolution=4, finest_resolution=16
+        ),
+        hidden_width=16,
+        geo_features=8,
+    )
+    return MoENeRF(MoEConfig(n_experts=n_experts, expert_model=model_cfg), seed=0)
+
+
+def _tiny_moe_trainer(dataset, n_experts=2):
+    return MoETrainer(
+        _tiny_moe(n_experts),
+        dataset.cameras,
+        dataset.images,
+        dataset.normalizer,
+        TrainerConfig(
+            batch_rays=96, lr=5e-3, max_samples_per_ray=16,
+            occupancy_resolution=8, occupancy_interval=4,
+        ),
+    )
+
+
+def test_fuse_is_addition_with_background_offset():
+    """The I/O module is an adder: bg + sum(C_e - bg)."""
+    a = np.array([[0.5, 0.5, 0.5]])
+    b = np.array([[0.75, 0.25, 1.0]])
+    fused = MoENeRF.fuse([a, b], background=1.0)
+    assert np.allclose(fused, a + b - 1.0)
+
+
+def test_fuse_single_expert_is_identity():
+    colors = np.random.default_rng(0).uniform(size=(4, 3))
+    assert np.allclose(MoENeRF.fuse([colors], background=1.0), colors)
+
+
+def test_fuse_all_background_stays_background():
+    bg = 1.0
+    experts = [np.full((3, 3), bg) for _ in range(4)]
+    assert np.allclose(MoENeRF.fuse(experts, bg), bg)
+
+
+def test_fuse_rejects_empty():
+    with pytest.raises(ValueError):
+        MoENeRF.fuse([], background=1.0)
+
+
+def test_fuse_gradient_is_identity_per_expert():
+    """dC/dC_e = 1, so each chip receives the loss gradient unchanged —
+    validated by linearity of the fusion rule."""
+    rng = np.random.default_rng(1)
+    a, b = rng.uniform(size=(2, 4, 3))
+    delta = np.zeros((4, 3))
+    delta[2, 1] = 1e-3
+    fused = MoENeRF.fuse([a, b], 1.0)
+    bumped = MoENeRF.fuse([a + delta, b], 1.0)
+    assert np.allclose(bumped - fused, delta)
+
+
+def test_moe_parameters_namespaced():
+    moe = _tiny_moe(3)
+    params = moe.parameters()
+    assert any(k.startswith("expert0.") for k in params)
+    assert any(k.startswith("expert2.") for k in params)
+    assert moe.n_parameters == sum(v.size for v in params.values())
+
+
+def test_moe_config_validation():
+    with pytest.raises(ValueError):
+        MoEConfig(n_experts=0)
+
+
+def test_experts_have_distinct_seeds():
+    moe = _tiny_moe(2)
+    t0 = moe.experts[0].encoding.tables
+    t1 = moe.experts[1].encoding.tables
+    assert not np.array_equal(t0, t1)
+
+
+def test_moe_training_reduces_loss(mic_dataset):
+    trainer = _tiny_moe_trainer(mic_dataset)
+    first = np.mean([trainer.train_step() for _ in range(3)])
+    for _ in range(25):
+        trainer.train_step()
+    last = np.mean([trainer.train_step() for _ in range(3)])
+    assert last < first
+
+
+def test_moe_render_rays_shape(mic_dataset):
+    trainer = _tiny_moe_trainer(mic_dataset)
+    trainer.train_step()
+    origins = np.array([[-1.0, 0.5, 0.5], [0.5, 0.5, -1.0]])
+    directions = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]])
+    colors = trainer.render_rays(origins, directions)
+    assert colors.shape == (2, 3)
+    assert np.all(np.isfinite(colors))
+
+
+def test_moe_tracks_per_expert_workload(mic_dataset):
+    trainer = _tiny_moe_trainer(mic_dataset)
+    trainer.train_step()
+    assert len(trainer.last_expert_samples) == 2
+    assert all(s >= 0 for s in trainer.last_expert_samples)
+
+
+def test_expert_dominance_shape(mic_dataset):
+    trainer = _tiny_moe_trainer(mic_dataset)
+    trainer.train_step()
+    origins = np.tile([[-1.0, 0.5, 0.5]], (5, 1))
+    directions = np.tile([[1.0, 0.0, 0.0]], (5, 1))
+    dominance = trainer.expert_dominance(origins, directions)
+    assert dominance.shape == (5,)
+    assert np.all((dominance >= 0) & (dominance < 2))
+
+
+def test_moe_eval_psnr(mic_dataset):
+    trainer = _tiny_moe_trainer(mic_dataset)
+    trainer.train(2)
+    score = trainer.eval_psnr(n_views=1)
+    assert np.isfinite(score) and score > 0
+
+
+def test_dominance_map_shape(mic_dataset):
+    from repro.nerf.moe import dominance_map
+
+    trainer = _tiny_moe_trainer(mic_dataset)
+    trainer.train_step()
+    image = dominance_map(trainer, mic_dataset.cameras[0], mic_dataset.normalizer)
+    camera = mic_dataset.cameras[0]
+    assert image.shape == (camera.height, camera.width)
+    assert image.max() < trainer.model.n_experts
+
+
+def test_dominance_ascii_rendering():
+    from repro.nerf.moe import dominance_ascii
+
+    art = dominance_ascii(np.array([[0, 1], [1, 0]]))
+    assert art == ".:\n:."
+    with pytest.raises(ValueError):
+        dominance_ascii(np.array([[9]]))

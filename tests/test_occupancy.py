@@ -1,0 +1,158 @@
+"""Occupancy grid: gating for Stage I and the MoE gate."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.occupancy import OccupancyGrid
+
+
+def test_new_grid_is_fully_occupied():
+    grid = OccupancyGrid(resolution=4)
+    assert grid.occupancy_fraction == 1.0
+    assert grid.query(np.array([[0.5, 0.5, 0.5]]))[0]
+
+
+def test_cell_indices_clamped_to_grid():
+    grid = OccupancyGrid(resolution=4)
+    cells = grid.cell_indices(np.array([[1.5, -0.5, 0.999]]))
+    assert np.array_equal(cells[0], [3, 0, 3])
+
+
+def test_update_marks_dense_cells():
+    grid = OccupancyGrid(resolution=4, threshold=0.5)
+    grid.density_ema[:] = 0.0
+    grid.mask[:] = False
+    points = np.array([[0.1, 0.1, 0.1]])
+    grid.update(points, np.array([5.0]))
+    assert grid.query(points)[0]
+    assert not grid.query(np.array([[0.9, 0.9, 0.9]]))[0]
+
+
+def test_ema_decay_eventually_clears_stale_cells():
+    grid = OccupancyGrid(resolution=2, threshold=0.5, ema_decay=0.5)
+    grid.update(np.array([[0.1, 0.1, 0.1]]), np.array([1.0]))
+    assert grid.occupancy_fraction > 0
+    for _ in range(8):
+        grid.update(np.empty((0, 3)), np.empty(0))
+    assert grid.occupancy_fraction == 0.0
+
+
+def test_update_uses_max_density_per_cell():
+    grid = OccupancyGrid(resolution=2, threshold=0.5)
+    pts = np.array([[0.1, 0.1, 0.1], [0.2, 0.2, 0.2]])
+    grid.update(pts, np.array([0.1, 3.0]))
+    assert grid.density_ema[0, 0, 0] == pytest.approx(3.0)
+
+
+def test_update_requires_aligned_arrays():
+    grid = OccupancyGrid(resolution=2)
+    with pytest.raises(ValueError):
+        grid.update(np.zeros((2, 3)), np.zeros(3))
+
+
+def test_set_from_function_sphere():
+    grid = OccupancyGrid(resolution=16, threshold=0.5)
+
+    def density(points):
+        r = np.linalg.norm(points - 0.5, axis=-1)
+        return np.where(r < 0.25, 10.0, 0.0)
+
+    grid.set_from_function(density)
+    assert grid.query(np.array([[0.5, 0.5, 0.5]]))[0]
+    assert not grid.query(np.array([[0.05, 0.05, 0.05]]))[0]
+    # Sphere of radius 0.25 fills about 6.5% of the cube.
+    assert 0.02 < grid.occupancy_fraction < 0.2
+
+
+def test_occupied_aabbs_cover_mask():
+    grid = OccupancyGrid(resolution=4, threshold=0.5)
+    grid.density_ema[:] = 0.0
+    grid.mask[:] = False
+    grid.mask[1, 2, 3] = True
+    mins, maxs = grid.occupied_aabbs()
+    assert mins.shape == (1, 3)
+    assert np.allclose(mins[0], [0.25, 0.5, 0.75])
+    assert np.allclose(maxs[0], [0.5, 0.75, 1.0])
+
+
+def test_invalid_construction_args():
+    with pytest.raises(ValueError):
+        OccupancyGrid(resolution=0)
+    with pytest.raises(ValueError):
+        OccupancyGrid(ema_decay=1.0)
+
+
+def test_query_on_boundary_points():
+    grid = OccupancyGrid(resolution=4)
+    result = grid.query(np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]))
+    assert result.shape == (2,)
+
+
+def test_n_cells():
+    assert OccupancyGrid(resolution=8).n_cells == 512
+
+
+# -- DDA traversal ------------------------------------------------------------
+
+def test_traverse_axis_ray_visits_resolution_cells():
+    from repro.nerf.occupancy import traverse_grid
+
+    grid = OccupancyGrid(resolution=8)
+    origins = np.array([[-1.0, 0.55, 0.55]])
+    directions = np.array([[1.0, 0.0, 0.0]])
+    counts = traverse_grid(origins, directions, grid, np.array([1.0]), np.array([2.0]))
+    assert counts[0] == 8
+
+
+def test_traverse_generic_ray_bounded():
+    """Any unit-cube chord visits between 1 and 3*res cells."""
+    from repro.nerf.aabb import intersect_unit_cube
+    from repro.nerf.occupancy import traverse_grid
+
+    rng = np.random.default_rng(0)
+    grid = OccupancyGrid(resolution=8)
+    origins = rng.uniform(-1.5, -0.5, (16, 3))
+    directions = rng.uniform(0.2, 1.0, (16, 3))
+    directions /= np.linalg.norm(directions, axis=-1, keepdims=True)
+    t0, t1, hit = intersect_unit_cube(origins, directions)
+    counts = traverse_grid(origins[hit], directions[hit], grid, t0[hit], t1[hit])
+    assert np.all(counts >= 1)
+    assert np.all(counts <= 3 * 8)
+
+
+def test_traverse_cell_count_scales_with_resolution():
+    from repro.nerf.occupancy import traverse_grid
+
+    origins = np.array([[-1.0, 0.51, 0.52]])
+    directions = np.array([[1.0, 0.0, 0.0]])
+    coarse = traverse_grid(
+        origins, directions, OccupancyGrid(resolution=4),
+        np.array([1.0]), np.array([2.0]),
+    )
+    fine = traverse_grid(
+        origins, directions, OccupancyGrid(resolution=16),
+        np.array([1.0]), np.array([2.0]),
+    )
+    assert fine[0] == 4 * coarse[0]
+
+
+def test_traverse_empty_segment():
+    from repro.nerf.occupancy import traverse_grid
+
+    grid = OccupancyGrid(resolution=4)
+    counts = traverse_grid(
+        np.array([[0.5, 0.5, 0.5]]), np.array([[1.0, 0.0, 0.0]]),
+        grid, np.array([2.0]), np.array([1.0]),  # t_start > t_end
+    )
+    assert counts[0] == 0
+
+
+def test_traverse_validates_alignment():
+    from repro.nerf.occupancy import traverse_grid
+
+    grid = OccupancyGrid(resolution=4)
+    with pytest.raises(ValueError):
+        traverse_grid(
+            np.zeros((2, 3)), np.ones((2, 3)), grid,
+            np.zeros(1), np.ones(2),
+        )

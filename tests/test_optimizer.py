@@ -1,0 +1,93 @@
+"""Adam and the MSE loss."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.optimizer import Adam, mse_loss
+
+
+def test_adam_minimizes_quadratic():
+    params = {"x": np.array([5.0, -3.0])}
+    opt = Adam(params, lr=0.1)
+    for _ in range(300):
+        opt.step({"x": 2.0 * params["x"]})
+    assert np.allclose(params["x"], 0.0, atol=1e-3)
+
+
+def test_adam_updates_in_place():
+    x = np.array([1.0])
+    opt = Adam({"x": x}, lr=0.01)
+    opt.step({"x": np.array([1.0])})
+    assert x[0] < 1.0
+
+
+def test_adam_skips_missing_grads():
+    params = {"a": np.array([1.0]), "b": np.array([2.0])}
+    opt = Adam(params, lr=0.1)
+    opt.step({"a": np.array([1.0])})
+    assert params["b"][0] == 2.0
+
+
+def test_adam_rejects_unknown_parameter():
+    opt = Adam({"a": np.zeros(2)}, lr=0.1)
+    with pytest.raises(KeyError):
+        opt.step({"zz": np.zeros(2)})
+
+
+def test_adam_rejects_shape_mismatch():
+    opt = Adam({"a": np.zeros(2)}, lr=0.1)
+    with pytest.raises(ValueError):
+        opt.step({"a": np.zeros(3)})
+
+
+def test_adam_rejects_nonpositive_lr():
+    with pytest.raises(ValueError):
+        Adam({"a": np.zeros(1)}, lr=0.0)
+
+
+def test_adam_weight_decay_shrinks_parameters():
+    params = {"x": np.array([10.0])}
+    opt = Adam(params, lr=0.1, weight_decay=0.1)
+    for _ in range(200):
+        opt.step({"x": np.zeros(1)})
+    assert abs(params["x"][0]) < 10.0
+
+
+def test_adam_set_lr():
+    opt = Adam({"a": np.zeros(1)}, lr=0.1)
+    opt.set_lr(0.5)
+    assert opt.lr == 0.5
+    with pytest.raises(ValueError):
+        opt.set_lr(-1.0)
+
+
+def test_adam_first_step_magnitude_is_lr():
+    """Bias correction makes the first step ~lr regardless of grad scale."""
+    params = {"x": np.array([0.0])}
+    opt = Adam(params, lr=0.05)
+    opt.step({"x": np.array([1234.0])})
+    assert params["x"][0] == pytest.approx(-0.05, rel=1e-3)
+
+
+def test_mse_loss_value_and_gradient():
+    pred = np.array([1.0, 2.0])
+    target = np.array([0.0, 0.0])
+    loss, grad = mse_loss(pred, target)
+    assert loss == pytest.approx(2.5)
+    assert np.allclose(grad, [1.0, 2.0])
+
+
+def test_mse_loss_gradient_finite_difference(rng):
+    pred = rng.normal(size=(4, 3))
+    target = rng.normal(size=(4, 3))
+    loss, grad = mse_loss(pred, target)
+    eps = 1e-7
+    bumped = pred.copy()
+    bumped[1, 2] += eps
+    up, _ = mse_loss(bumped, target)
+    assert np.isclose(grad[1, 2], (up - loss) / eps, atol=1e-5)
+
+
+def test_mse_loss_shape_mismatch():
+    with pytest.raises(ValueError):
+        mse_loss(np.zeros(2), np.zeros(3))

@@ -1,0 +1,102 @@
+"""Ray generation (Stage I front end)."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.camera import Camera, look_at
+from repro.nerf.rays import (
+    RayBundle,
+    generate_rays,
+    pixel_directions,
+    sample_training_rays,
+)
+
+
+@pytest.fixture
+def camera():
+    return Camera(width=8, height=6, focal=10.0, c2w=look_at((0, -3, 0), (0, 0, 0)))
+
+
+def test_generate_rays_covers_all_pixels(camera):
+    rays = generate_rays(camera)
+    assert len(rays) == camera.n_pixels
+    assert np.array_equal(rays.pixel_ids, np.arange(camera.n_pixels))
+
+
+def test_ray_directions_are_unit_norm(camera):
+    rays = generate_rays(camera)
+    norms = np.linalg.norm(rays.directions, axis=-1)
+    assert np.allclose(norms, 1.0)
+
+
+def test_rays_originate_at_camera_center(camera):
+    rays = generate_rays(camera)
+    assert np.allclose(rays.origins, camera.origin)
+
+
+def test_center_pixel_ray_points_along_view_axis(camera):
+    center = (camera.height // 2) * camera.width + camera.width // 2
+    rays = generate_rays(camera, np.array([center]))
+    view_axis = -camera.c2w[:3, 2]
+    assert np.dot(rays.directions[0], view_axis) > 0.99
+
+
+def test_pixel_directions_rejects_out_of_range(camera):
+    with pytest.raises(ValueError):
+        pixel_directions(camera, np.array([camera.n_pixels]))
+
+
+def test_corner_pixels_diverge_from_center(camera):
+    corner = generate_rays(camera, np.array([0]))
+    center_id = (camera.height // 2) * camera.width + camera.width // 2
+    center = generate_rays(camera, np.array([center_id]))
+    assert not np.allclose(corner.directions, center.directions)
+
+
+def test_ray_bundle_select_by_mask(camera):
+    rays = generate_rays(camera)
+    mask = rays.pixel_ids % 2 == 0
+    subset = rays.select(mask)
+    assert len(subset) == mask.sum()
+    assert np.all(subset.pixel_ids % 2 == 0)
+
+
+def test_ray_bundle_validates_shapes():
+    with pytest.raises(ValueError):
+        RayBundle(
+            origins=np.zeros((3, 3)),
+            directions=np.zeros((2, 3)),
+            pixel_ids=np.zeros(3, dtype=np.int64),
+        )
+    with pytest.raises(ValueError):
+        RayBundle(
+            origins=np.zeros((3, 3)),
+            directions=np.zeros((3, 3)),
+            pixel_ids=np.zeros(2, dtype=np.int64),
+        )
+
+
+def test_sample_training_rays_shapes(mic_dataset, rng):
+    rays, colors = sample_training_rays(
+        mic_dataset.cameras, mic_dataset.images, 64, rng
+    )
+    assert len(rays) == 64
+    assert colors.shape == (64, 3)
+    assert np.all((colors >= 0.0) & (colors <= 1.0))
+
+
+def test_sample_training_rays_colors_match_pixels(mic_dataset, rng):
+    rays, colors = sample_training_rays(
+        mic_dataset.cameras, mic_dataset.images, 256, rng
+    )
+    # Every returned color must exist somewhere in the image stack.
+    flat = mic_dataset.images.reshape(-1, 3)
+    for color in colors[:10]:
+        assert np.any(np.all(np.isclose(flat, color, atol=1e-12), axis=1))
+
+
+def test_sample_training_rays_requires_matching_counts(mic_dataset, rng):
+    with pytest.raises(ValueError):
+        sample_training_rays(
+            mic_dataset.cameras[:2], mic_dataset.images, 16, rng
+        )

@@ -1,0 +1,135 @@
+"""The ray marcher (Stage I core)."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.occupancy import OccupancyGrid
+from repro.nerf.sampling import RayMarcher, SamplerConfig, SamplingStats
+
+
+@pytest.fixture
+def marcher():
+    return RayMarcher(SamplerConfig(max_samples=32))
+
+
+def _axis_rays(n=4):
+    origins = np.tile([[-1.0, 0.5, 0.5]], (n, 1))
+    directions = np.tile([[1.0, 0.0, 0.0]], (n, 1))
+    return origins, directions
+
+
+def test_samples_lie_inside_unit_cube(marcher):
+    o, d = _axis_rays()
+    batch = marcher.sample(o, d)
+    assert np.all(batch.positions >= 0.0)
+    assert np.all(batch.positions < 1.0)
+
+
+def test_sample_count_bounded_by_budget(marcher):
+    o, d = _axis_rays(1)
+    batch = marcher.sample(o, d)
+    assert 0 < len(batch) <= 32
+
+
+def test_ray_idx_sorted_and_contiguous(marcher):
+    o, d = _axis_rays(5)
+    batch = marcher.sample(o, d)
+    assert np.all(np.diff(batch.ray_idx) >= 0)
+    assert batch.n_rays == 5
+
+
+def test_samples_ordered_front_to_back(marcher):
+    o, d = _axis_rays(1)
+    batch = marcher.sample(o, d)
+    assert np.all(np.diff(batch.ts) > 0)
+
+
+def test_directions_are_unit(marcher):
+    o = np.array([[-2.0, 0.5, 0.5]])
+    d = np.array([[3.0, 0.0, 0.0]])  # unnormalized on purpose
+    batch = marcher.sample(o, d)
+    assert np.allclose(np.linalg.norm(batch.directions, axis=-1), 1.0)
+
+
+def test_long_diagonal_ray_fits_budget(marcher):
+    o = np.array([[-0.01, -0.01, -0.01]])
+    d = np.array([[1.0, 1.0, 1.0]])
+    batch = marcher.sample(o, d)
+    assert len(batch) <= 32
+
+
+def test_miss_produces_empty_batch(marcher):
+    batch = marcher.sample(
+        np.array([[5.0, 5.0, 5.0]]), np.array([[1.0, 0.0, 0.0]])
+    )
+    assert len(batch) == 0
+    assert batch.candidates == 0
+    assert batch.n_rays == 1
+
+
+def test_occupancy_gating_drops_empty_cells(marcher):
+    grid = OccupancyGrid(resolution=4, threshold=0.5)
+    grid.density_ema[:] = 0.0
+    grid.mask[:] = False
+    grid.mask[2, 2, 2] = True  # only one occupied cell on the chord
+    o, d = _axis_rays(1)
+    gated = marcher.sample(o, d, occupancy=grid)
+    ungated = marcher.sample(o, d)
+    assert 0 < len(gated) < len(ungated)
+    assert gated.candidates == ungated.candidates
+    cells = grid.cell_indices(gated.positions)
+    assert np.all(cells == 2)
+
+
+def test_jitter_moves_samples(marcher):
+    config = SamplerConfig(max_samples=32, jitter=True)
+    jittered = RayMarcher(config)
+    o, d = _axis_rays(1)
+    a = jittered.sample(o, d, rng=np.random.default_rng(1))
+    b = jittered.sample(o, d, rng=np.random.default_rng(2))
+    assert not np.allclose(a.ts, b.ts)
+
+
+def test_deterministic_without_jitter(marcher):
+    o, d = _axis_rays(2)
+    a = marcher.sample(o, d)
+    b = marcher.sample(o, d)
+    assert np.array_equal(a.ts, b.ts)
+
+
+def test_deltas_are_uniform_spatial_step(marcher):
+    o, d = _axis_rays(1)
+    batch = marcher.sample(o, d)
+    expected = np.sqrt(3.0) / 32
+    assert np.allclose(batch.deltas, expected)
+
+
+def test_samples_per_ray_sums_to_total(marcher):
+    o, d = _axis_rays(7)
+    batch = marcher.sample(o, d)
+    assert batch.samples_per_ray.sum() == len(batch)
+
+
+def test_origin_inside_cube(marcher):
+    batch = marcher.sample(
+        np.array([[0.5, 0.5, 0.5]]), np.array([[0.0, 0.0, 1.0]])
+    )
+    assert len(batch) > 0
+    assert np.all(batch.positions[:, 2] >= 0.5)
+
+
+def test_stats_from_batch(marcher):
+    o, d = _axis_rays(3)
+    grid = OccupancyGrid(resolution=4, threshold=0.5)
+    grid.density_ema[:] = 0.0
+    grid.mask[:] = False
+    grid.mask[1, 2, 2] = True
+    batch = marcher.sample(o, d, occupancy=grid)
+    stats = SamplingStats.from_batch(batch)
+    assert stats.kept == len(batch)
+    assert stats.candidates == batch.candidates
+    assert 0.0 < stats.keep_fraction < 1.0
+
+
+def test_stats_empty_batch_keep_fraction():
+    assert SamplingStats().keep_fraction == 0.0

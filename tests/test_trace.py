@@ -1,0 +1,111 @@
+"""Workload traces: the NeRF-to-simulator interface."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.hash_encoding import HashEncoding, HashEncodingConfig
+from repro.nerf.occupancy import OccupancyGrid
+from repro.sim.trace import WorkloadTrace, synthetic_trace, trace_from_rays
+
+
+def _rays(n=32):
+    rng = np.random.default_rng(0)
+    origins = np.tile([[-1.0, 0.5, 0.5]], (n, 1)) + rng.normal(0, 0.1, (n, 3))
+    directions = np.tile([[1.0, 0.0, 0.0]], (n, 1)) + rng.normal(0, 0.1, (n, 3))
+    return origins, directions
+
+
+def test_trace_from_rays_consistency(full_occupancy):
+    o, d = _rays()
+    trace = trace_from_rays(o, d, full_occupancy, max_samples=32)
+    assert trace.n_rays == 32
+    assert trace.n_samples <= trace.n_candidates
+    assert trace.n_pairs >= trace.n_rays - 4  # nearly every ray hits
+    # Pair durations distribute each ray's kept samples.
+    assert sum(sum(p) for p in trace.pair_durations) == pytest.approx(
+        trace.n_samples, rel=0.01
+    )
+
+
+def test_trace_from_rays_with_gating():
+    grid = OccupancyGrid(resolution=4, threshold=0.5)
+    grid.density_ema[:] = 0.0
+    grid.mask[:] = False
+    grid.mask[2, 2, 2] = True
+    o, d = _rays()
+    trace = trace_from_rays(o, d, grid, max_samples=32)
+    assert trace.occupancy_fraction < 0.5
+    assert trace.mean_samples_per_ray < 8
+
+
+def test_trace_from_rays_records_vertex_fetches(full_occupancy):
+    encoding = HashEncoding(
+        HashEncodingConfig(n_levels=2, log2_table_size=8, base_resolution=4,
+                           finest_resolution=8)
+    )
+    o, d = _rays()
+    trace = trace_from_rays(
+        o, d, full_occupancy, encoding=encoding, max_samples=16,
+        max_traced_vertices=64,
+    )
+    assert trace.vertex_corners is not None
+    assert trace.vertex_corners.shape[1:] == (8, 3)
+    assert trace.vertex_indices.shape == trace.vertex_corners.shape[:2]
+    assert trace.vertex_corners.shape[0] <= 64
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        WorkloadTrace(n_rays=2, pair_durations=[[1.0]], n_samples=1, n_candidates=1)
+    with pytest.raises(ValueError):
+        WorkloadTrace(n_rays=-1, pair_durations=[], n_samples=0, n_candidates=0)
+
+
+def test_trace_ray_durations():
+    trace = WorkloadTrace(
+        n_rays=2, pair_durations=[[1.0, 2.0], [3.0]], n_samples=6, n_candidates=10
+    )
+    assert np.array_equal(trace.ray_durations(), [3.0, 3.0])
+    assert trace.n_pairs == 3
+    assert trace.mean_samples_per_ray == 3.0
+    assert trace.occupancy_fraction == 0.6
+
+
+def test_scale_for_samples():
+    trace = WorkloadTrace(
+        n_rays=1, pair_durations=[[5.0]], n_samples=5, n_candidates=10
+    )
+    assert trace.scale_for_samples(50) == 10.0
+    empty = WorkloadTrace(n_rays=1, pair_durations=[[]], n_samples=0, n_candidates=0)
+    with pytest.raises(ValueError):
+        empty.scale_for_samples(10)
+
+
+def test_synthetic_trace_statistics(rng):
+    trace = synthetic_trace(
+        n_rays=2000, mean_samples_per_ray=6.0, occupancy_fraction=0.25, rng=rng
+    )
+    assert trace.n_rays == 2000
+    assert trace.mean_samples_per_ray == pytest.approx(6.0, rel=0.2)
+    assert trace.occupancy_fraction == pytest.approx(0.25, rel=0.05)
+    # Pair counts stay in the paper's 1-3 range.
+    assert max(len(p) for p in trace.pair_durations) <= 3
+    assert min(len(p) for p in trace.pair_durations) >= 1
+
+
+def test_synthetic_trace_vertex_data(rng):
+    trace = synthetic_trace(
+        n_rays=100, mean_samples_per_ray=4.0, occupancy_fraction=0.5, rng=rng,
+        traced_vertices=128,
+    )
+    assert trace.vertex_corners.shape == (128, 8, 3)
+    assert trace.vertex_indices.max() < 1 << 14
+
+
+def test_synthetic_trace_validation(rng):
+    with pytest.raises(ValueError):
+        synthetic_trace(0, 5.0, 0.5, rng)
+    with pytest.raises(ValueError):
+        synthetic_trace(10, 5.0, 0.0, rng)
+    with pytest.raises(ValueError):
+        synthetic_trace(10, -1.0, 0.5, rng)

@@ -1,0 +1,80 @@
+"""The training loop (kept tiny: a handful of steps per test)."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.trainer import Trainer, TrainerConfig
+
+
+def test_train_step_returns_finite_loss(tiny_trainer):
+    loss = tiny_trainer.train_step()
+    assert np.isfinite(loss)
+    assert loss > 0.0
+
+
+def test_loss_decreases_over_short_run(lego_dataset, tiny_model):
+    trainer = Trainer(
+        tiny_model,
+        lego_dataset.cameras,
+        lego_dataset.images,
+        lego_dataset.normalizer,
+        TrainerConfig(
+            batch_rays=256, lr=5e-3, max_samples_per_ray=24,
+            occupancy_resolution=16, occupancy_interval=8,
+        ),
+    )
+    first = np.mean([trainer.train_step() for _ in range(8)])
+    for _ in range(60):
+        trainer.train_step()
+    last = np.mean([trainer.train_step() for _ in range(8)])
+    assert last < first
+
+
+def test_iteration_counter_and_history(tiny_trainer):
+    tiny_trainer.train(4)
+    assert tiny_trainer.state.iteration == 4
+    assert len(tiny_trainer.state.losses) == 4
+
+
+def test_occupancy_refresh_interval(tiny_trainer):
+    before = tiny_trainer.occupancy.density_ema.copy()
+    tiny_trainer.train(tiny_trainer.config.occupancy_interval)
+    assert not np.array_equal(before, tiny_trainer.occupancy.density_ema)
+    # The grid never collapses to fully empty.
+    assert tiny_trainer.occupancy.mask.any()
+
+
+def test_post_step_hook_invoked(tiny_trainer):
+    calls = []
+    tiny_trainer.post_step_hook = lambda trainer: calls.append(
+        trainer.state.iteration
+    )
+    tiny_trainer.train(3)
+    assert calls == [1, 2, 3]
+
+
+def test_eval_psnr_returns_finite(tiny_trainer):
+    tiny_trainer.train(2)
+    score = tiny_trainer.eval_psnr(n_views=1)
+    assert np.isfinite(score)
+    assert score > 0.0
+
+
+def test_psnr_history_tracked(tiny_trainer):
+    tiny_trainer.train(4, eval_every=2, eval_views=1)
+    assert len(tiny_trainer.state.psnr_history) == 2
+    assert tiny_trainer.state.psnr_history[0][0] == 2
+
+
+def test_trainer_requires_views(tiny_model, mic_dataset):
+    with pytest.raises(ValueError):
+        Trainer(
+            tiny_model, [], np.empty((0, 4, 4, 3)), mic_dataset.normalizer,
+            TrainerConfig(),
+        )
+
+
+def test_last_batch_exposed(tiny_trainer):
+    tiny_trainer.train_step()
+    assert tiny_trainer.last_batch is not None
+    assert tiny_trainer.last_batch.n_rays == tiny_trainer.config.batch_rays

@@ -1,0 +1,51 @@
+"""The shared experiment workload builder."""
+
+import pytest
+
+from repro.datasets import synthetic
+from repro.experiments.workloads import (
+    nerf360_workloads,
+    scene_workload,
+    synthetic_workloads,
+)
+
+
+@pytest.fixture(scope="module")
+def mic_ship():
+    return {w.name: w for w in synthetic_workloads(scenes=("mic", "ship"))}
+
+
+def test_scene_workload_basic_fields():
+    w = scene_workload(synthetic.make_scene("lego"))
+    assert w.name == "lego"
+    assert w.trace.n_samples > 0
+    assert 0.0 < w.occupancy_fraction < 1.0
+
+
+def test_density_ordering_matches_scenes(mic_ship):
+    assert mic_ship["mic"].mean_samples_per_ray < mic_ship["ship"].mean_samples_per_ray
+    assert mic_ship["mic"].occupancy_fraction < mic_ship["ship"].occupancy_fraction
+
+
+def test_synthetic_suite_covers_paper_density_range(mic_ship):
+    """The suite must span sparse (<1 sample/ray) to dense (>5)."""
+    assert mic_ship["mic"].mean_samples_per_ray < 1.0
+    assert mic_ship["ship"].mean_samples_per_ray > 5.0
+
+
+def test_vertex_fetch_trace_recorded(mic_ship):
+    trace = mic_ship["ship"].trace
+    assert trace.vertex_corners is not None
+    assert trace.vertex_indices is not None
+
+
+def test_nerf360_workloads_denser_than_objects(mic_ship):
+    w360 = nerf360_workloads(scenes=("kitchen",))[0]
+    assert w360.mean_samples_per_ray > mic_ship["ship"].mean_samples_per_ray
+
+
+def test_workload_deterministic():
+    a = scene_workload(synthetic.make_scene("drums"), seed=3)
+    b = scene_workload(synthetic.make_scene("drums"), seed=3)
+    assert a.trace.n_samples == b.trace.n_samples
+    assert a.occupancy_fraction == b.occupancy_fraction
