@@ -14,8 +14,17 @@ Instant 3D Reconstruction and Real-Time Rendering* (MICRO 2024):
   accelerators;
 * :mod:`repro.core` — the :class:`~repro.core.Fusion3D` facade, bandwidth
   accounting, and reporting helpers;
-* :mod:`repro.experiments` — one runner per paper table/figure.
+* :mod:`repro.experiments` — one runner per paper table/figure;
+* :mod:`repro.telemetry` — structured tracing (Chrome-trace export),
+  metrics registry, and profiling hooks, disabled (zero-overhead) by
+  default.
 """
+
+import logging as _logging
+
+# Library-friendly logging default: emit nothing unless the embedding
+# application (or the CLI in experiments.runner) attaches a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from .core import Fusion3D, Fusion3DConfig, ReconstructionResult, RenderingResult
 

@@ -22,24 +22,19 @@ class ExperimentResult:
     rows: list
     #: Headline scalars worth asserting on (paper-vs-measured pairs).
     summary: dict = field(default_factory=dict)
+    #: Optional observability digest (metrics snapshot + span aggregates)
+    #: attached by the runner when telemetry was enabled for the run.
+    telemetry: dict = None
 
     def to_json(self) -> str:
-        """Machine-readable dump (rows + summary) for tooling."""
-
-        def clean(value):
-            if isinstance(value, float) and value != value:  # NaN
-                return None
-            if isinstance(value, float) and value in (float("inf"), float("-inf")):
-                return str(value)
-            if hasattr(value, "item"):
-                return value.item()
-            return value
-
+        """Machine-readable dump (rows + summary + telemetry) for tooling."""
         payload = asdict(self)
-        payload["rows"] = [
-            {k: clean(v) for k, v in row.items()} for row in self.rows
-        ]
-        payload["summary"] = {k: clean(v) for k, v in self.summary.items()}
+        payload["rows"] = _clean(self.rows)
+        payload["summary"] = _clean(self.summary)
+        if self.telemetry is None:
+            payload.pop("telemetry")
+        else:
+            payload["telemetry"] = _clean(self.telemetry)
         return json.dumps(payload, indent=2)
 
     def to_text(self) -> str:
@@ -63,6 +58,25 @@ class ExperimentResult:
             for key, value in self.summary.items():
                 lines.append(f"{key}: {_fmt(value)}")
         return "\n".join(lines)
+
+
+def _clean(value):
+    """Recursively make ``value`` JSON-safe: NaN -> None, +/-inf -> str,
+    numpy scalars -> python scalars.  Applied to rows, summary *and*
+    telemetry alike, at any nesting depth (a NaN hiding inside a summary
+    list used to survive into ``json.dumps`` and emit invalid JSON)."""
+    if isinstance(value, dict):
+        return {k: _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    if hasattr(value, "item"):
+        value = value.item()
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return None
+        if value in (float("inf"), float("-inf")):
+            return str(value)
+    return value
 
 
 def _fmt(value) -> str:

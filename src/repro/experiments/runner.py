@@ -4,13 +4,23 @@
 ``fusion3d-experiments run table3`` regenerates one; ``run all`` walks
 the whole evaluation section.  ``--full`` switches off quick mode (more
 scenes, more training iterations).
+
+Observability: ``run --trace-out trace.json`` records a Chrome-trace
+(open in ``chrome://tracing`` or https://ui.perfetto.dev), ``run
+--metrics`` appends the metrics snapshot, and ``report NAME`` runs one
+experiment under telemetry and pretty-prints the per-module cycle +
+wall-clock breakdown.  All CLI output goes through the ``repro``
+logger (stdout handler; ``--quiet`` suppresses it); the package itself
+ships a ``NullHandler`` so library users see nothing by default.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
+from .. import telemetry
 from . import (
     chiplet_scaling,
     dataset_stats,
@@ -37,7 +47,9 @@ from . import (
     vf_scaling,
     warping_study,
 )
-from .base import ExperimentResult
+from .base import ExperimentResult, _fmt
+
+logger = logging.getLogger("repro.experiments")
 
 #: name -> (module, paper reference) registry of every experiment.
 REGISTRY = {
@@ -76,14 +88,150 @@ def run_experiment(name: str, quick: bool = True) -> ExperimentResult:
     return module.run(quick=quick)
 
 
+def format_breakdown(summary: dict) -> str:
+    """Render a telemetry digest as the per-module breakdown table.
+
+    ``summary`` is :meth:`repro.telemetry.TelemetrySession.summary`
+    output: simulated cycles come from the ``sim.<module>.cycles``
+    counters, wall-clock seconds from the matching span aggregates.
+    """
+    counters = summary.get("metrics", {}).get("counters", {})
+    gauges = summary.get("metrics", {}).get("gauges", {})
+    spans = summary.get("spans", {})
+    modules = []
+    for name, cycles in sorted(counters.items()):
+        if name.startswith("sim.") and name.endswith(".cycles"):
+            module = name[len("sim."):-len(".cycles")]
+            if module == "total":
+                continue
+            modules.append((module, cycles))
+    lines = ["per-module breakdown", ""]
+    header = f"{'module':16s}  {'sim cycles':>12s}  {'wall s':>10s}  {'spans':>6s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for module, cycles in modules:
+        span = spans.get(module, {})
+        lines.append(
+            f"{module:16s}  {_fmt(float(cycles)):>12s}  "
+            f"{_fmt(span.get('total_s', 0.0)):>10s}  "
+            f"{span.get('count', 0):>6d}"
+        )
+    total = counters.get("sim.total_cycles")
+    if total is not None:
+        lines.append("")
+        lines.append(f"pipelined total cycles: {_fmt(float(total))}")
+    overlap = gauges.get("sim.stage_overlap_efficiency")
+    if overlap is not None:
+        lines.append(f"stage-overlap efficiency: {_fmt(float(overlap))}")
+    top_level = [
+        (name, entry)
+        for name, entry in sorted(spans.items())
+        if "." in name  # qualified spans: trainer.*, chip.*, multichip.*
+    ]
+    if top_level:
+        lines.append("")
+        lines.append(f"{'span':28s}  {'count':>6s}  {'total s':>10s}  {'mean s':>10s}")
+        for name, entry in top_level:
+            lines.append(
+                f"{name:28s}  {entry['count']:>6d}  "
+                f"{_fmt(entry['total_s']):>10s}  {_fmt(entry['mean_s']):>10s}"
+            )
+    return "\n".join(lines)
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Flat text rendering of a metrics-registry snapshot."""
+    lines = ["metrics"]
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append(f"  counter   {name} = {_fmt(float(value))}")
+    for name, value in snapshot.get("gauges", {}).items():
+        lines.append(f"  gauge     {name} = {_fmt(float(value))}")
+    for name, summ in snapshot.get("histograms", {}).items():
+        lines.append(
+            f"  histogram {name}: n={summ.get('count', 0)} "
+            f"mean={_fmt(summ.get('mean', 0.0))} p50={_fmt(summ.get('p50', 0.0))} "
+            f"p95={_fmt(summ.get('p95', 0.0))} p99={_fmt(summ.get('p99', 0.0))}"
+        )
+    return "\n".join(lines)
+
+
+_cli_handler = None
+
+
+def _configure_cli_logging(quiet: bool) -> None:
+    """Attach (or refresh) the CLI's stdout handler on the package logger.
+
+    The previous handler is detached first, so repeated ``main()`` calls
+    (tests, embedding) never stack duplicates, and the handler always
+    binds the *current* ``sys.stdout`` (pytest and notebooks swap it).
+    ``--quiet`` raises the threshold to WARNING instead of detaching, so
+    errors still surface.
+    """
+    global _cli_handler
+    root = logging.getLogger("repro")
+    if _cli_handler is not None:
+        root.removeHandler(_cli_handler)
+    _cli_handler = logging.StreamHandler(stream=sys.stdout)
+    _cli_handler.setFormatter(logging.Formatter("%(message)s"))
+    root.addHandler(_cli_handler)
+    root.setLevel(logging.WARNING if quiet else logging.INFO)
+
+
+def _cmd_list() -> int:
+    for name, (_, description) in REGISTRY.items():
+        logger.info("%-20s %s", name, description)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = list(REGISTRY) if args.name == "all" else [args.name]
+    want_telemetry = bool(args.trace_out or args.metrics)
+    tel = telemetry.enable() if want_telemetry else None
+    try:
+        for name in names:
+            result = run_experiment(name, quick=not args.full)
+            if tel is not None:
+                result.telemetry = tel.summary()
+            logger.info("%s\n", result.to_json() if args.json else result.to_text())
+        if tel is not None and args.trace_out:
+            tel.tracer.write_chrome_trace(args.trace_out)
+            logger.info("wrote Chrome trace to %s", args.trace_out)
+        if tel is not None and args.metrics:
+            logger.info("%s", format_metrics(tel.metrics.snapshot()))
+    finally:
+        if tel is not None:
+            telemetry.disable()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    with telemetry.session() as tel:
+        result = run_experiment(args.name, quick=not args.full)
+        summary = tel.summary()
+    logger.info("%s  (%s)\n", result.experiment, result.paper_ref)
+    logger.info("%s", format_breakdown(summary))
+    if args.trace_out:
+        tel.tracer.write_chrome_trace(args.trace_out)
+        logger.info("wrote Chrome trace to %s", args.trace_out)
+    return 0
+
+
 def main(argv: list = None) -> int:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress informational output (warnings still shown)",
+    )
     parser = argparse.ArgumentParser(
         prog="fusion3d-experiments",
         description="Regenerate the tables and figures of the Fusion-3D paper.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
-    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    sub.add_parser("list", parents=[common], help="list available experiments")
+    run_parser = sub.add_parser(
+        "run", parents=[common], help="run one experiment (or 'all')"
+    )
     run_parser.add_argument("name", help="experiment name or 'all'")
     run_parser.add_argument(
         "--full",
@@ -95,17 +243,44 @@ def main(argv: list = None) -> int:
         action="store_true",
         help="emit machine-readable JSON instead of text tables",
     )
+    run_parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="record spans and write a Chrome-trace JSON to FILE",
+    )
+    run_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print the telemetry metrics snapshot",
+    )
+    report_parser = sub.add_parser(
+        "report",
+        parents=[common],
+        help="run one experiment under telemetry; print the per-module "
+        "cycle + wall-clock breakdown",
+    )
+    report_parser.add_argument(
+        "name", nargs="?", default="table3", help="experiment name (default: table3)"
+    )
+    report_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full scenes/iterations instead of the quick subset",
+    )
+    report_parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="also write the recorded Chrome-trace JSON to FILE",
+    )
     args = parser.parse_args(argv)
+    _configure_cli_logging(args.quiet)
     if args.command == "list":
-        for name, (_, description) in REGISTRY.items():
-            print(f"{name:20s} {description}")
-        return 0
-    names = list(REGISTRY) if args.name == "all" else [args.name]
-    for name in names:
-        result = run_experiment(name, quick=not args.full)
-        print(result.to_json() if args.json else result.to_text())
-        print()
-    return 0
+        return _cmd_list()
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_run(args)
 
 
 if __name__ == "__main__":

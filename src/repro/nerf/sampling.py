@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from .aabb import intersect_unit_cube
 from .occupancy import OccupancyGrid
 
@@ -79,54 +80,78 @@ class RayMarcher:
         ``sqrt(3)/max_samples`` (the cube diagonal over the budget) covers
         any chord with at most ``max_samples`` points.
         """
-        origins = np.atleast_2d(np.asarray(origins, dtype=np.float64))
-        directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
-        directions = directions / np.linalg.norm(directions, axis=-1, keepdims=True)
-        n_rays = origins.shape[0]
-        t0, t1, hit = intersect_unit_cube(origins, directions)
-        step = np.sqrt(3.0) / self.config.max_samples
-        spans = np.where(hit, t1 - t0, 0.0)
-        counts = np.minimum(
-            np.ceil(spans / step).astype(np.int64), self.config.max_samples
-        )
-        counts = np.maximum(counts, 0)
-        total = int(counts.sum())
-        if total == 0:
-            empty = np.empty((0, 3))
-            return SampleBatch(
-                positions=empty,
-                directions=empty.copy(),
-                deltas=np.empty(0),
-                ts=np.empty(0),
-                ray_idx=np.empty(0, dtype=np.int64),
-                n_rays=n_rays,
-                candidates=0,
+        tel = telemetry.get_session()
+        with tel.tracer.span("sampler.march"):
+            origins = np.atleast_2d(np.asarray(origins, dtype=np.float64))
+            directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+            directions = directions / np.linalg.norm(directions, axis=-1, keepdims=True)
+            n_rays = origins.shape[0]
+            t0, t1, hit = intersect_unit_cube(origins, directions)
+            step = np.sqrt(3.0) / self.config.max_samples
+            spans = np.where(hit, t1 - t0, 0.0)
+            counts = np.minimum(
+                np.ceil(spans / step).astype(np.int64), self.config.max_samples
             )
-        ray_idx = np.repeat(np.arange(n_rays), counts)
-        # Index of each sample within its ray, computed without a loop.
-        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
-        within = np.arange(total) - np.repeat(starts, counts)
-        if self.config.jitter and rng is not None:
-            offsets = rng.uniform(0.0, 1.0, size=total)
-        else:
-            offsets = 0.5
-        t = t0[ray_idx] + (within + offsets) * step
-        t = np.minimum(t, t1[ray_idx] - 1e-9)
-        positions = origins[ray_idx] + t[:, None] * directions[ray_idx]
-        positions = np.clip(positions, 0.0, 1.0 - 1e-9)
-        deltas = np.full(total, step)
-        keep = np.ones(total, dtype=bool)
-        if self.config.use_occupancy and occupancy is not None:
-            keep = occupancy.query(positions)
-        return SampleBatch(
-            positions=positions[keep],
-            directions=directions[ray_idx[keep]],
-            deltas=deltas[keep],
-            ts=t[keep],
-            ray_idx=ray_idx[keep],
-            n_rays=n_rays,
-            candidates=total,
-        )
+            counts = np.maximum(counts, 0)
+            total = int(counts.sum())
+            if total == 0:
+                empty = np.empty((0, 3))
+                batch = SampleBatch(
+                    positions=empty,
+                    directions=empty.copy(),
+                    deltas=np.empty(0),
+                    ts=np.empty(0),
+                    ray_idx=np.empty(0, dtype=np.int64),
+                    n_rays=n_rays,
+                    candidates=0,
+                )
+                self._record_batch(tel, batch)
+                return batch
+            ray_idx = np.repeat(np.arange(n_rays), counts)
+            # Index of each sample within its ray, computed without a loop.
+            starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+            within = np.arange(total) - np.repeat(starts, counts)
+            if self.config.jitter and rng is not None:
+                offsets = rng.uniform(0.0, 1.0, size=total)
+            else:
+                offsets = 0.5
+            t = t0[ray_idx] + (within + offsets) * step
+            t = np.minimum(t, t1[ray_idx] - 1e-9)
+            positions = origins[ray_idx] + t[:, None] * directions[ray_idx]
+            positions = np.clip(positions, 0.0, 1.0 - 1e-9)
+            deltas = np.full(total, step)
+            keep = np.ones(total, dtype=bool)
+            if self.config.use_occupancy and occupancy is not None:
+                keep = occupancy.query(positions)
+            batch = SampleBatch(
+                positions=positions[keep],
+                directions=directions[ray_idx[keep]],
+                deltas=deltas[keep],
+                ts=t[keep],
+                ray_idx=ray_idx[keep],
+                n_rays=n_rays,
+                candidates=total,
+            )
+            self._record_batch(tel, batch)
+            return batch
+
+    @staticmethod
+    def _record_batch(tel, batch: "SampleBatch") -> None:
+        """Stage I workload metrics: gating rate and per-ray skew."""
+        if not tel.enabled:
+            return
+        m = tel.metrics
+        kept = len(batch)
+        m.counter("sampler.candidates").inc(batch.candidates)
+        m.counter("sampler.kept").inc(kept)
+        if batch.candidates:
+            m.gauge("sampler.early_termination_rate").set(
+                1.0 - kept / batch.candidates
+            )
+        hist = m.histogram("sampler.samples_per_ray")
+        values, repeats = np.unique(batch.samples_per_ray, return_counts=True)
+        for value, repeat in zip(values.tolist(), repeats.tolist()):
+            hist.observe(value, n=repeat)
 
 
 @dataclass

@@ -9,10 +9,12 @@ quantization (for the Table II study).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from .aabb import SceneNormalizer
 from .occupancy import OccupancyGrid
 from .optimizer import Adam, mse_loss
@@ -82,53 +84,84 @@ class Trainer:
     def train_step(self) -> float:
         """One optimization step; returns the batch loss."""
         cfg = self.config
-        rays, target = sample_training_rays(
-            self.cameras, self.images, cfg.batch_rays, self.rng
-        )
-        origins, directions = self.normalizer.rays_to_unit(
-            rays.origins, rays.directions
-        )
-        batch = self.marcher.sample(
-            origins, directions, occupancy=self.occupancy, rng=self.rng
-        )
-        self.last_batch = batch
-        if len(batch) == 0:
-            # Degenerate batch (all empty space): skip the step entirely.
+        tel = telemetry.get_session()
+        step_start = time.perf_counter() if tel.enabled else 0.0
+        with tel.tracer.span("trainer.train_step"):
+            with tel.tracer.span("trainer.sample_rays"):
+                rays, target = sample_training_rays(
+                    self.cameras, self.images, cfg.batch_rays, self.rng
+                )
+                origins, directions = self.normalizer.rays_to_unit(
+                    rays.origins, rays.directions
+                )
+                batch = self.marcher.sample(
+                    origins, directions, occupancy=self.occupancy, rng=self.rng
+                )
+            self.last_batch = batch
+            tel.hooks.emit(telemetry.ON_BATCH, trainer=self, batch=batch)
+            if len(batch) == 0:
+                # Degenerate batch (all empty space): skip the step entirely.
+                self.state.iteration += 1
+                self.state.losses.append(float("nan"))
+                tel.hooks.emit(
+                    telemetry.ON_ITERATION, trainer=self, loss=float("nan")
+                )
+                return float("nan")
+            with tel.tracer.span("trainer.forward"):
+                sigma, rgb, cache = self.model.forward(
+                    batch.positions, batch.directions
+                )
+            with tel.tracer.span("trainer.composite"):
+                result = composite(
+                    sigma,
+                    rgb,
+                    batch.deltas,
+                    batch.ts,
+                    batch.ray_idx,
+                    batch.n_rays,
+                    background=cfg.background,
+                )
+                loss, grad_colors = mse_loss(result.colors, target)
+            with tel.tracer.span("trainer.backward"):
+                grad_sigma, grad_rgb = composite_backward(
+                    grad_colors,
+                    result,
+                    sigma,
+                    rgb,
+                    batch.deltas,
+                    batch.ray_idx,
+                    batch.n_rays,
+                    background=cfg.background,
+                )
+                grads = self.model.backward(grad_sigma, grad_rgb, cache)
+            with tel.tracer.span("trainer.optimizer_step"):
+                self.optimizer.step(grads)
             self.state.iteration += 1
-            self.state.losses.append(float("nan"))
-            return float("nan")
-        sigma, rgb, cache = self.model.forward(batch.positions, batch.directions)
-        result = composite(
-            sigma,
-            rgb,
-            batch.deltas,
-            batch.ts,
-            batch.ray_idx,
-            batch.n_rays,
-            background=cfg.background,
-        )
-        loss, grad_colors = mse_loss(result.colors, target)
-        grad_sigma, grad_rgb = composite_backward(
-            grad_colors,
-            result,
-            sigma,
-            rgb,
-            batch.deltas,
-            batch.ray_idx,
-            batch.n_rays,
-            background=cfg.background,
-        )
-        grads = self.model.backward(grad_sigma, grad_rgb, cache)
-        self.optimizer.step(grads)
-        self.state.iteration += 1
-        self.state.losses.append(loss)
-        if (
-            cfg.occupancy_interval
-            and self.state.iteration % cfg.occupancy_interval == 0
-        ):
-            self._refresh_occupancy()
-        if self.post_step_hook is not None:
-            self.post_step_hook(self)
+            self.state.losses.append(loss)
+            if (
+                cfg.occupancy_interval
+                and self.state.iteration % cfg.occupancy_interval == 0
+            ):
+                refresh_start = time.perf_counter() if tel.enabled else 0.0
+                with tel.tracer.span("trainer.occupancy_refresh"):
+                    self._refresh_occupancy()
+                if tel.enabled:
+                    tel.metrics.histogram("trainer.occupancy_refresh_s").observe(
+                        time.perf_counter() - refresh_start
+                    )
+            if self.post_step_hook is not None:
+                self.post_step_hook(self)
+        if tel.enabled:
+            step_s = time.perf_counter() - step_start
+            m = tel.metrics
+            m.counter("trainer.iterations").inc()
+            m.counter("trainer.rays").inc(cfg.batch_rays)
+            m.counter("trainer.samples").inc(len(batch))
+            m.gauge("trainer.loss").set(loss)
+            m.histogram("trainer.step_s").observe(step_s)
+            if step_s > 0:
+                m.gauge("trainer.rays_per_s").set(cfg.batch_rays / step_s)
+        tel.hooks.emit(telemetry.ON_ITERATION, trainer=self, loss=loss)
         return loss
 
     def train(self, n_iterations: int, eval_every: int = 0, eval_views: int = 2) -> TrainState:
@@ -146,18 +179,22 @@ class Trainer:
         if cameras is None:
             cameras = self.cameras[:n_views]
             images = self.images[:n_views]
+        tel = telemetry.get_session()
         scores = []
-        for camera, target in zip(cameras, images):
-            rendered = render_image(
-                self.model,
-                camera,
-                self.normalizer,
-                self.marcher,
-                occupancy=self.occupancy,
-                background=self.config.background,
-            )
-            scores.append(psnr(rendered, target))
-        return float(np.mean(scores))
+        with tel.tracer.span("trainer.eval_psnr"):
+            for camera, target in zip(cameras, images):
+                rendered = render_image(
+                    self.model,
+                    camera,
+                    self.normalizer,
+                    self.marcher,
+                    occupancy=self.occupancy,
+                    background=self.config.background,
+                )
+                scores.append(psnr(rendered, target))
+        score = float(np.mean(scores))
+        tel.metrics.gauge("trainer.psnr").set(score)
+        return score
 
     def _refresh_occupancy(self) -> None:
         """Re-estimate occupancy from the current density field."""

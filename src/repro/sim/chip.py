@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..hw.area import AreaModel, ModuleArea
 from ..hw.energy import EnergyModel, OpCounts
 from ..hw.memory_cluster import MemoryClusterSpec
@@ -184,15 +185,22 @@ class SingleChipAccelerator:
         """
         if workload_scale <= 0:
             raise ValueError("workload_scale must be positive")
-        s1 = self.sampling.simulate(trace, optimized=optimized_sampling)
-        s2 = self.interp.simulate(trace, training=training)
-        s3 = self.postproc.simulate(trace, training=training)
-        stages = [
-            StageReport("sampling", s1.cycles * workload_scale, s1.ops.scaled(workload_scale)),
-            StageReport("interp", s2.cycles * workload_scale, s2.ops.scaled(workload_scale)),
-            StageReport("postproc", s3.cycles * workload_scale, s3.ops.scaled(workload_scale)),
-        ]
-        total_cycles = self._pipeline_cycles([s.cycles for s in stages])
+        tel = telemetry.get_session()
+        mode = "training" if training else "inference"
+        with tel.tracer.span("chip.simulate", chip=self.config.name, mode=mode):
+            with tel.tracer.span("sampling"):
+                s1 = self.sampling.simulate(trace, optimized=optimized_sampling)
+            with tel.tracer.span("interpolation"):
+                s2 = self.interp.simulate(trace, training=training)
+            with tel.tracer.span("post-processing"):
+                s3 = self.postproc.simulate(trace, training=training)
+            stages = [
+                StageReport("sampling", s1.cycles * workload_scale, s1.ops.scaled(workload_scale)),
+                StageReport("interp", s2.cycles * workload_scale, s2.ops.scaled(workload_scale)),
+                StageReport("postproc", s3.cycles * workload_scale, s3.ops.scaled(workload_scale)),
+            ]
+            total_cycles = self._pipeline_cycles([s.cycles for s in stages])
+        self._record_simulation(tel, stages, total_cycles)
         runtime = total_cycles * self.config.tech.cycle_s
         ops = OpCounts()
         for stage in stages:
@@ -214,6 +222,43 @@ class SingleChipAccelerator:
             energy_j=breakdown.total_j,
             power_w=breakdown.total_j / runtime if runtime > 0 else 0.0,
         )
+
+    #: StageReport.name -> display name used for spans, metrics and hooks.
+    MODULE_NAMES = {
+        "sampling": "sampling",
+        "interp": "interpolation",
+        "postproc": "post-processing",
+    }
+
+    def _record_simulation(self, tel, stages: list, total_cycles: float) -> None:
+        """Per-module cycle metrics, overlap efficiency, and hook dispatch."""
+        for stage in stages:
+            tel.hooks.emit(
+                telemetry.ON_MODULE_SIMULATED,
+                module=self.MODULE_NAMES[stage.name],
+                cycles=stage.cycles,
+                chip=self.config.name,
+            )
+        if not tel.enabled:
+            return
+        m = tel.metrics
+        serial = 0.0
+        for stage in stages:
+            serial += stage.cycles
+            m.counter(f"sim.{self.MODULE_NAMES[stage.name]}.cycles").inc(
+                stage.cycles
+            )
+        m.counter("sim.total_cycles").inc(total_cycles)
+        # Overlap efficiency: share of the hideable work (everything beyond
+        # the bottleneck stage) the flow-shop pipeline actually hid.
+        bottleneck = max(stage.cycles for stage in stages)
+        hideable = serial - bottleneck
+        if hideable > 0:
+            m.gauge("sim.stage_overlap_efficiency").set(
+                (serial - total_cycles) / hideable
+            )
+        else:
+            m.gauge("sim.stage_overlap_efficiency").set(1.0)
 
     def power_breakdown(
         self, trace: WorkloadTrace, training: bool = False

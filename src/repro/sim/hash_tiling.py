@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..hw.sram import BankedSram, SramBankSpec, AccessStats
 from ..hw.technology import Technology, TECH_28NM
 
@@ -77,9 +78,18 @@ def replay_feature_fetches(
     ``corners``/``indices`` are ``(n_samples, 8, 3)`` / ``(n_samples, 8)``
     as produced by ``HashEncoding.level_lookup``.
     """
-    banks = BankedSram(scheme.n_banks, SramBankSpec(size_kb=bank_kb), tech)
-    bank_ids = scheme.bank_ids(corners, indices)
-    return banks.replay_groups(bank_ids, bytes_per_access=bytes_per_access)
+    tel = telemetry.get_session()
+    with tel.tracer.span("hash_tiling.replay", scheme=scheme.name):
+        banks = BankedSram(scheme.n_banks, SramBankSpec(size_kb=bank_kb), tech)
+        bank_ids = scheme.bank_ids(corners, indices)
+        stats = banks.replay_groups(bank_ids, bytes_per_access=bytes_per_access)
+    if tel.enabled:
+        m = tel.metrics
+        prefix = f"sram.{scheme.name}"
+        m.counter(f"{prefix}.bank_conflicts").inc(stats.conflicts)
+        m.counter(f"{prefix}.access_cycles").inc(stats.cycles)
+        m.counter(f"{prefix}.requests").inc(stats.requests)
+    return stats
 
 
 @dataclass

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..hw.interconnect import LinkSpec, PCB_CHIP_LINK, USB_3_2_GEN1
 from .chip import ChipConfig, ChipReport, SingleChipAccelerator
 from .trace import WorkloadTrace
@@ -135,28 +136,62 @@ class MultiChipSystem:
         :meth:`SingleChipAccelerator.simulate`."""
         if len(chip_traces) != self.config.n_chips:
             raise ValueError("one trace per chip required")
-        reports = [
-            chip.simulate(trace, training=training, workload_scale=workload_scale)
-            for chip, trace in zip(self.chips, chip_traces)
-        ]
-        comm = self.communication(
-            chip_traces, training=training, workload_scale=workload_scale
+        tel = telemetry.get_session()
+        with tel.tracer.span("multichip.simulate", n_chips=self.config.n_chips):
+            reports = [
+                chip.simulate(trace, training=training, workload_scale=workload_scale)
+                for chip, trace in zip(self.chips, chip_traces)
+            ]
+            comm = self.communication(
+                chip_traces, training=training, workload_scale=workload_scale
+            )
+            # All chips must finish before fusion (C4).  Ray broadcast and
+            # partial-pixel return stream concurrently with compute over each
+            # chip's private link, so the system is limited by whichever is
+            # slower — the 0.6 GB/s links are provisioned to just keep up.
+            runtime = max(max(r.runtime_s for r in reports), comm.transfer_s)
+            chip_power = sum(r.energy_j for r in reports) / runtime
+            power = chip_power + self.config.io_power_w + comm.energy_j / runtime
+            report = MultiChipReport(
+                mode="training" if training else "inference",
+                chip_reports=reports,
+                runtime_s=runtime,
+                power_w=power,
+                communication=comm,
+                n_rays=int(round(chip_traces[0].n_rays * workload_scale)),
+            )
+        self._record_simulation(tel, report)
+        return report
+
+    def _record_simulation(self, tel, report: MultiChipReport) -> None:
+        """Per-chiplet utilization and interconnect-traffic telemetry."""
+        for i, chip_report in enumerate(report.chip_reports):
+            tel.hooks.emit(
+                telemetry.ON_MODULE_SIMULATED,
+                module=f"chiplet{i}",
+                cycles=chip_report.total_cycles,
+                chip=chip_report.config_name,
+            )
+        if not tel.enabled:
+            return
+        m = tel.metrics
+        for i, chip_report in enumerate(report.chip_reports):
+            # Utilization: this chiplet's busy time over the fused-batch
+            # wall time set by the slowest chip / the interconnect (C4).
+            utilization = (
+                chip_report.runtime_s / report.runtime_s
+                if report.runtime_s > 0
+                else 0.0
+            )
+            m.gauge(f"multichip.chiplet{i}.utilization").set(utilization)
+        m.gauge("multichip.imbalance").set(report.chip_imbalance)
+        comm = report.communication
+        m.counter("multichip.interconnect.moe_bytes").inc(comm.moe_bytes)
+        m.counter("multichip.interconnect.layer_split_bytes").inc(
+            comm.layer_split_bytes
         )
-        # All chips must finish before fusion (C4).  Ray broadcast and
-        # partial-pixel return stream concurrently with compute over each
-        # chip's private link, so the system is limited by whichever is
-        # slower — the 0.6 GB/s links are provisioned to just keep up.
-        runtime = max(max(r.runtime_s for r in reports), comm.transfer_s)
-        chip_power = sum(r.energy_j for r in reports) / runtime
-        power = chip_power + self.config.io_power_w + comm.energy_j / runtime
-        return MultiChipReport(
-            mode="training" if training else "inference",
-            chip_reports=reports,
-            runtime_s=runtime,
-            power_w=power,
-            communication=comm,
-            n_rays=int(round(chip_traces[0].n_rays * workload_scale)),
-        )
+        m.counter("multichip.interconnect.transfer_s").inc(comm.transfer_s)
+        m.gauge("multichip.interconnect.comm_saving").set(comm.saving)
 
     def communication(
         self, chip_traces: list, training: bool = False, workload_scale: float = 1.0

@@ -1,0 +1,181 @@
+"""Observability for the Fusion-3D reproduction: tracing, metrics, hooks.
+
+Three pillars, all stdlib-only (no numpy — importable from every layer):
+
+* :mod:`~repro.telemetry.tracing` — nestable wall-clock :class:`Span`\\ s
+  exported as Chrome ``about:tracing`` / Perfetto JSON;
+* :mod:`~repro.telemetry.metrics` — a process-wide registry of counters,
+  gauges, and log-scale histograms (p50/p95/p99);
+* :mod:`~repro.telemetry.hooks` — a callback protocol (``on_iteration``,
+  ``on_batch``, ``on_module_simulated``) the trainer and simulators emit
+  so experiments can subscribe without coupling.
+
+The three are bundled into a :class:`TelemetrySession`; exactly one
+session is *active* per process.  The default session is **disabled**:
+its tracer and metrics are shared null singletons, so the instrumentation
+compiled into the hot paths costs a couple of attribute lookups and
+leaves every numerical result bit-identical.  Hooks stay live even when
+disabled — subscribing must not require paying for spans and metrics.
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.session() as tel:
+        trainer.train(200)
+        tel.tracer.write_chrome_trace("trace.json")
+        print(tel.metrics.snapshot()["counters"]["trainer.iterations"])
+
+or imperatively: ``tel = telemetry.enable(); ...; telemetry.disable()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from .hooks import (
+    HookDispatcher,
+    ON_BATCH,
+    ON_ITERATION,
+    ON_MODULE_SIMULATED,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    NULL_METRICS,
+)
+from .tracing import NullTracer, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HookDispatcher",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "ON_BATCH",
+    "ON_ITERATION",
+    "ON_MODULE_SIMULATED",
+    "Span",
+    "TelemetrySession",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "get_hooks",
+    "get_metrics",
+    "get_session",
+    "get_tracer",
+    "session",
+    "set_session",
+]
+
+
+class TelemetrySession:
+    """One tracer + one metrics registry + one hook dispatcher.
+
+    ``enabled`` tells instrumentation sites whether it is worth computing
+    derived quantities (rates, per-ray distributions) before recording
+    them; with the disabled default session those branches are skipped
+    entirely.
+    """
+
+    def __init__(self, tracer=None, metrics=None, hooks=None, enabled=True):
+        self.tracer = tracer if tracer is not None else (
+            Tracer() if enabled else NULL_TRACER
+        )
+        self.metrics = metrics if metrics is not None else (
+            MetricsRegistry() if enabled else NULL_METRICS
+        )
+        self.hooks = hooks if hooks is not None else HookDispatcher()
+        self.enabled = enabled
+
+    def summary(self) -> dict:
+        """JSON-serializable digest: metrics snapshot + span aggregates.
+
+        This is what :class:`~repro.experiments.base.ExperimentResult`
+        stores in its ``telemetry`` section.
+        """
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.tracer.aggregate(),
+        }
+
+    def clear(self) -> None:
+        self.tracer.clear()
+        self.metrics.clear()
+
+
+#: The always-available disabled session.  Its hooks dispatcher is real
+#: (subscription works without enabling telemetry); tracer and metrics
+#: are the shared null singletons.
+_DISABLED = TelemetrySession(
+    tracer=NULL_TRACER, metrics=NULL_METRICS, enabled=False
+)
+
+_active = _DISABLED
+_swap_lock = threading.Lock()
+
+
+def get_session() -> TelemetrySession:
+    """The active session; instrumentation sites call this once per op."""
+    return _active
+
+
+def set_session(session_obj: TelemetrySession) -> TelemetrySession:
+    """Install ``session_obj`` as active; returns the previous session."""
+    global _active
+    with _swap_lock:
+        previous = _active
+        _active = session_obj
+    return previous
+
+
+def enable(tracer=None, metrics=None, hooks=None) -> TelemetrySession:
+    """Activate a fresh (or caller-supplied) recording session."""
+    session_obj = TelemetrySession(
+        tracer=tracer, metrics=metrics, hooks=hooks, enabled=True
+    )
+    set_session(session_obj)
+    return session_obj
+
+
+def disable() -> None:
+    """Restore the zero-overhead disabled default."""
+    set_session(_DISABLED)
+
+
+def enabled() -> bool:
+    return _active.enabled
+
+
+@contextmanager
+def session(tracer=None, metrics=None, hooks=None):
+    """Scoped recording session: activates on entry, restores on exit."""
+    session_obj = TelemetrySession(
+        tracer=tracer, metrics=metrics, hooks=hooks, enabled=True
+    )
+    previous = set_session(session_obj)
+    try:
+        yield session_obj
+    finally:
+        set_session(previous)
+
+
+def get_tracer():
+    return _active.tracer
+
+
+def get_metrics():
+    return _active.metrics
+
+
+def get_hooks() -> HookDispatcher:
+    return _active.hooks

@@ -1,0 +1,84 @@
+"""Profiling hooks: a keyword-argument callback protocol.
+
+The instrumented layers announce progress through a small set of named
+events; experiments subscribe with plain callables and never import the
+emitting module.  Events carry keyword arguments only, so emitters can
+add context without breaking existing subscribers (callbacks should
+accept ``**_`` for forward compatibility).
+
+Well-known events (emitters in parentheses):
+
+* ``on_iteration(trainer, loss)`` — one optimizer step finished
+  (:class:`~repro.nerf.trainer.Trainer`).
+* ``on_batch(trainer, batch)`` — a sample batch was marched, before the
+  forward pass (:class:`~repro.nerf.trainer.Trainer`).
+* ``on_module_simulated(module, cycles, ...)`` — one hardware module's
+  cycle simulation finished (:class:`~repro.sim.chip.SingleChipAccelerator`,
+  :class:`~repro.sim.multichip.MultiChipSystem`).
+
+Custom event names are allowed; the dispatcher is just a name -> list
+map.  Callbacks run synchronously in registration order; an exception in
+a callback propagates to the emitter (hooks are a debugging tool — fail
+loudly, not silently).
+"""
+
+from __future__ import annotations
+
+import threading
+
+ON_ITERATION = "on_iteration"
+ON_BATCH = "on_batch"
+ON_MODULE_SIMULATED = "on_module_simulated"
+
+
+class HookDispatcher:
+    """Name -> subscriber-list event bus; emit order == register order."""
+
+    def __init__(self):
+        self._listeners = {}
+        self._lock = threading.Lock()
+
+    def register(self, event: str, callback):
+        """Subscribe ``callback`` to ``event``; returns the callback so it
+        can be used as a decorator argument or unregistered later."""
+        if not callable(callback):
+            raise TypeError("hook callback must be callable")
+        with self._lock:
+            self._listeners.setdefault(event, []).append(callback)
+        return callback
+
+    def unregister(self, event: str, callback) -> None:
+        with self._lock:
+            listeners = self._listeners.get(event, [])
+            if callback in listeners:
+                listeners.remove(callback)
+
+    # Convenience decorators for the well-known events.
+    def on_iteration(self, callback):
+        return self.register(ON_ITERATION, callback)
+
+    def on_batch(self, callback):
+        return self.register(ON_BATCH, callback)
+
+    def on_module_simulated(self, callback):
+        return self.register(ON_MODULE_SIMULATED, callback)
+
+    def emit(self, event: str, **kwargs) -> int:
+        """Invoke every subscriber of ``event``; returns the call count.
+
+        The subscriber list is snapshotted first, so a callback that
+        (un)registers during dispatch affects the *next* emit only.
+        """
+        listeners = self._listeners.get(event)
+        if not listeners:
+            return 0
+        for callback in tuple(listeners):
+            callback(**kwargs)
+        return len(listeners)
+
+    def listeners(self, event: str) -> list:
+        return list(self._listeners.get(event, []))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._listeners.clear()

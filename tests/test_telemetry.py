@@ -1,0 +1,430 @@
+"""The telemetry subsystem: tracing, metrics, hooks, and integration.
+
+Covers the acceptance surface of the observability PR: span nesting and
+thread safety, log-scale histogram percentiles, hook dispatch order,
+NullTracer no-op behaviour (including bit-identical training), the
+Chrome-trace JSON schema, and the end-to-end wiring through the
+experiment runner.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.experiments import runner
+from repro.experiments.base import ExperimentResult
+from repro.nerf.model import InstantNGPModel
+from repro.nerf.trainer import Trainer, TrainerConfig
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.tracing import NULL_TRACER, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry():
+    """Every test leaves the process-wide session disabled."""
+    yield
+    telemetry.disable()
+
+
+# -- tracing ---------------------------------------------------------------
+
+
+def test_span_nesting_records_parents():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("middle"):
+            with tracer.span("inner"):
+                pass
+        with tracer.span("sibling"):
+            pass
+    by_name = {s.name: s for s in tracer.finished}
+    assert by_name["outer"].parent is None
+    assert by_name["middle"].parent_name == "outer"
+    assert by_name["inner"].parent_name == "middle"
+    assert by_name["sibling"].parent_name == "outer"
+    assert by_name["inner"].depth == 2
+    # Completion order: innermost exits first.
+    assert [s.name for s in tracer.finished] == [
+        "inner", "middle", "sibling", "outer",
+    ]
+    # Children are contained in the parent's wall-clock interval.
+    outer, inner = by_name["outer"], by_name["inner"]
+    assert outer.start_s <= inner.start_s
+    assert inner.duration_s <= outer.duration_s
+
+
+def test_tracer_is_thread_safe():
+    tracer = Tracer()
+    barrier = threading.Barrier(4)
+
+    def work():
+        barrier.wait()  # overlap all threads so idents can't be reused
+        for _ in range(50):
+            with tracer.span("worker"):
+                with tracer.span("nested"):
+                    pass
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    spans = tracer.finished
+    assert len(spans) == 4 * 50 * 2
+    assert len({s.tid for s in spans}) == 4
+    # Per-thread stacks: every nested span's parent lives on its thread.
+    for span in spans:
+        if span.name == "nested":
+            assert span.parent_name == "worker"
+            assert span.parent.tid == span.tid
+
+
+def test_chrome_trace_schema():
+    tracer = Tracer()
+    with tracer.span("a", detail="x"):
+        with tracer.span("b"):
+            pass
+    doc = tracer.to_chrome_trace()
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    assert len(doc["traceEvents"]) == 2
+    for event in doc["traceEvents"]:
+        assert event["ph"] == "X"
+        assert isinstance(event["name"], str)
+        for key in ("ts", "dur"):
+            assert isinstance(event[key], float) and event[key] >= 0.0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+    args = {e["name"]: e.get("args") for e in doc["traceEvents"]}
+    assert args["a"] == {"detail": "x"}
+    # The document round-trips through JSON.
+    json.loads(json.dumps(doc))
+
+
+def test_write_chrome_trace(tmp_path):
+    tracer = Tracer()
+    with tracer.span("only"):
+        pass
+    path = tmp_path / "trace.json"
+    tracer.write_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"][0]["name"] == "only"
+
+
+def test_null_tracer_is_noop():
+    span = NULL_TRACER.span("anything", key="value")
+    assert NULL_TRACER.span("other") is span  # shared singleton
+    with span:
+        pass
+    assert NULL_TRACER.finished == []
+    assert NULL_TRACER.aggregate() == {}
+    assert NULL_TRACER.to_chrome_trace()["traceEvents"] == []
+    assert not NULL_TRACER.enabled
+
+
+def test_aggregate_totals():
+    tracer = Tracer()
+    for _ in range(3):
+        with tracer.span("repeated"):
+            pass
+    agg = tracer.aggregate()
+    assert agg["repeated"]["count"] == 3
+    assert agg["repeated"]["total_s"] >= 0.0
+    assert agg["repeated"]["mean_s"] == pytest.approx(
+        agg["repeated"]["total_s"] / 3
+    )
+
+
+# -- metrics ---------------------------------------------------------------
+
+
+def test_counter_and_gauge():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.counter("c").inc(2.5)
+    registry.gauge("g").set(4.0)
+    registry.gauge("g").inc(1.0)
+    snap = registry.snapshot()
+    assert snap["counters"]["c"] == pytest.approx(3.5)
+    assert snap["gauges"]["g"] == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        registry.counter("c").inc(-1.0)
+    with pytest.raises(ValueError):
+        registry.gauge("c")  # name already taken by a Counter
+
+
+def test_histogram_percentiles_log_scale():
+    hist = Histogram("h")
+    rng = np.random.default_rng(0)
+    values = rng.lognormal(mean=0.0, sigma=2.0, size=20_000)
+    hist.observe_many(values.tolist())
+    for q in (50.0, 95.0, 99.0):
+        exact = float(np.percentile(values, q))
+        assert hist.percentile(q) == pytest.approx(exact, rel=0.15), q
+    summ = hist.summary()
+    assert summ["count"] == 20_000
+    assert summ["mean"] == pytest.approx(float(values.mean()), rel=1e-9)
+    assert summ["min"] == pytest.approx(float(values.min()))
+    assert summ["max"] == pytest.approx(float(values.max()))
+    assert summ["p50"] <= summ["p95"] <= summ["p99"]
+
+
+def test_histogram_edge_cases():
+    hist = Histogram("h")
+    assert hist.percentile(50.0) == 0.0
+    assert hist.summary()["count"] == 0
+    hist.observe(0.0)  # underflow bucket
+    hist.observe(5.0, n=3)  # weighted observation
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(15.0)
+    assert hist.percentile(0.0) == 0.0
+    assert hist.percentile(100.0) == pytest.approx(5.0, rel=0.10)
+    with pytest.raises(ValueError):
+        hist.percentile(101.0)
+
+
+def test_null_registry_is_noop():
+    null = telemetry.NULL_METRICS
+    null.counter("x").inc(5)
+    null.gauge("y").set(1.0)
+    null.histogram("z").observe(2.0)
+    assert null.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert null.names() == []
+
+
+# -- hooks -----------------------------------------------------------------
+
+
+def test_hook_dispatch_order_and_unregister():
+    hooks = telemetry.HookDispatcher()
+    calls = []
+    first = hooks.register("custom", lambda **kw: calls.append(("first", kw)))
+    hooks.register("custom", lambda **kw: calls.append(("second", kw)))
+    n = hooks.emit("custom", value=7)
+    assert n == 2
+    assert [name for name, _ in calls] == ["first", "second"]
+    assert calls[0][1] == {"value": 7}
+    hooks.unregister("custom", first)
+    calls.clear()
+    hooks.emit("custom", value=8)
+    assert [name for name, _ in calls] == ["second"]
+    assert hooks.emit("never_registered") == 0
+
+
+def test_hooks_live_on_disabled_session(tiny_trainer):
+    """Subscribing must not require enabling tracing/metrics."""
+    assert not telemetry.enabled()
+    events = []
+    session = telemetry.get_session()
+
+    @session.hooks.on_iteration
+    def _record(trainer, loss, **_):
+        events.append((trainer.state.iteration, float(loss)))
+
+    try:
+        tiny_trainer.train(3)
+    finally:
+        session.hooks.unregister(telemetry.ON_ITERATION, _record)
+    assert [it for it, _ in events] == [1, 2, 3]
+
+
+def test_trainer_emits_batch_then_iteration(tiny_trainer):
+    order = []
+    with telemetry.session() as tel:
+        tel.hooks.on_batch(lambda **kw: order.append("batch"))
+        tel.hooks.on_iteration(lambda **kw: order.append("iteration"))
+        tiny_trainer.train_step()
+    assert order == ["batch", "iteration"]
+
+
+def test_chip_emits_module_hooks(sample_trace):
+    from repro.sim.chip import SingleChipAccelerator
+
+    modules = []
+    with telemetry.session() as tel:
+        tel.hooks.on_module_simulated(
+            lambda module, cycles, **_: modules.append((module, cycles))
+        )
+        SingleChipAccelerator().simulate(sample_trace)
+    names = [m for m, _ in modules]
+    assert names == ["sampling", "interpolation", "post-processing"]
+    assert all(cycles > 0 for _, cycles in modules)
+
+
+# -- session management ----------------------------------------------------
+
+
+def test_session_scoping_restores_previous():
+    assert not telemetry.enabled()
+    with telemetry.session() as tel:
+        assert telemetry.enabled()
+        assert telemetry.get_session() is tel
+        assert telemetry.get_tracer() is tel.tracer
+    assert not telemetry.enabled()
+    assert telemetry.get_tracer() is NULL_TRACER
+
+
+def test_enable_disable_roundtrip():
+    tel = telemetry.enable()
+    assert telemetry.get_session() is tel
+    tel.metrics.counter("x").inc()
+    assert tel.summary()["metrics"]["counters"]["x"] == 1.0
+    telemetry.disable()
+    assert telemetry.get_metrics() is telemetry.NULL_METRICS
+
+
+# -- disabled-path purity --------------------------------------------------
+
+
+def test_training_bit_identical_with_and_without_telemetry(mic_dataset,
+                                                           tiny_model_config):
+    config = TrainerConfig(
+        batch_rays=64, lr=5e-3, max_samples_per_ray=16,
+        occupancy_resolution=16, occupancy_interval=4,
+    )
+
+    def losses(enabled: bool) -> list:
+        model = InstantNGPModel(tiny_model_config, seed=0)
+        trainer = Trainer(
+            model, mic_dataset.cameras, mic_dataset.images,
+            mic_dataset.normalizer, config,
+        )
+        if enabled:
+            with telemetry.session():
+                trainer.train(6)
+        else:
+            trainer.train(6)
+        return trainer.state.losses
+
+    baseline = losses(enabled=False)
+    instrumented = losses(enabled=True)
+    assert baseline == instrumented  # bit-identical, not approx
+
+
+def test_trainer_records_metrics(tiny_trainer):
+    with telemetry.session() as tel:
+        tiny_trainer.train(4)
+        snap = tel.metrics.snapshot()
+    assert snap["counters"]["trainer.iterations"] == 4.0
+    assert snap["counters"]["trainer.rays"] == 4.0 * tiny_trainer.config.batch_rays
+    assert snap["counters"]["trainer.samples"] > 0
+    assert snap["gauges"]["trainer.loss"] > 0.0
+    assert snap["histograms"]["trainer.step_s"]["count"] == 4
+    assert snap["histograms"]["sampler.samples_per_ray"]["count"] > 0
+    assert 0.0 <= snap["gauges"]["sampler.early_termination_rate"] <= 1.0
+    spans = tel.tracer.aggregate()
+    for name in ("trainer.train_step", "trainer.forward", "trainer.backward",
+                 "trainer.optimizer_step", "sampler.march"):
+        assert spans[name]["count"] >= 4, name
+
+
+# -- experiment integration ------------------------------------------------
+
+
+def test_table3_emits_per_module_cycle_metrics():
+    with telemetry.session() as tel:
+        runner.run_experiment("table3", quick=True)
+        snap = tel.metrics.snapshot()
+    for module in ("sampling", "interpolation", "post-processing"):
+        assert snap["counters"][f"sim.{module}.cycles"] > 0.0, module
+    assert snap["counters"]["sim.total_cycles"] > 0.0
+    assert 0.0 < snap["gauges"]["sim.stage_overlap_efficiency"] <= 1.0
+    breakdown = runner.format_breakdown(tel.summary())
+    assert "interpolation" in breakdown
+    assert "stage-overlap efficiency" in breakdown
+
+
+def test_multichip_telemetry(sample_trace):
+    from repro.sim.multichip import MultiChipConfig, MultiChipSystem
+
+    system = MultiChipSystem(MultiChipConfig(n_chips=2))
+    with telemetry.session() as tel:
+        system.simulate([sample_trace, sample_trace])
+        snap = tel.metrics.snapshot()
+    assert snap["gauges"]["multichip.chiplet0.utilization"] > 0.0
+    assert snap["gauges"]["multichip.imbalance"] >= 1.0
+    assert snap["counters"]["multichip.interconnect.moe_bytes"] > 0.0
+    assert snap["gauges"]["multichip.interconnect.comm_saving"] > 0.9
+
+
+def test_hash_tiling_conflict_metrics(sample_trace):
+    from repro.sim.hash_tiling import compare_tilings
+
+    with telemetry.session() as tel:
+        compare_tilings(sample_trace.vertex_corners, sample_trace.vertex_indices)
+        snap = tel.metrics.snapshot()
+    assert snap["counters"]["sram.baseline.bank_conflicts"] > 0.0
+    assert snap["counters"]["sram.two-level-tiling.bank_conflicts"] == 0.0
+    assert snap["counters"]["sram.baseline.requests"] > 0.0
+
+
+# -- runner CLI + result plumbing ------------------------------------------
+
+
+def test_cli_run_trace_out_writes_valid_chrome_trace(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert runner.main(["run", "table3", "--trace-out", str(path),
+                        "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote Chrome trace" in out
+    assert "counter" in out  # --metrics snapshot printed
+    doc = json.loads(path.read_text())
+    names = {event["name"] for event in doc["traceEvents"]}
+    assert {"sampling", "interpolation", "post-processing"} <= names
+    for event in doc["traceEvents"]:
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0.0
+    assert not telemetry.enabled()  # runner restored the disabled default
+
+
+def test_cli_report_prints_breakdown(capsys):
+    assert runner.main(["report", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "per-module breakdown" in out
+    assert "interpolation" in out
+    assert "pipelined total cycles" in out
+
+
+def test_cli_quiet_suppresses_output(capsys):
+    assert runner.main(["list", "--quiet"]) == 0
+    assert capsys.readouterr().out == ""
+    assert runner.main(["list"]) == 0
+    assert "table3" in capsys.readouterr().out
+
+
+def test_result_telemetry_section_serializes():
+    with telemetry.session() as tel:
+        tel.metrics.counter("sim.sampling.cycles").inc(10.0)
+        with tel.tracer.span("sampling"):
+            pass
+        result = ExperimentResult(
+            experiment="x", paper_ref="Table X", rows=[{"a": 1.0}],
+            telemetry=tel.summary(),
+        )
+    payload = json.loads(result.to_json())
+    assert payload["telemetry"]["metrics"]["counters"]["sim.sampling.cycles"] == 10.0
+    assert payload["telemetry"]["spans"]["sampling"]["count"] == 1
+    # Without telemetry the key is absent, as before this PR.
+    bare = ExperimentResult(experiment="x", paper_ref="y", rows=[])
+    assert "telemetry" not in json.loads(bare.to_json())
+
+
+def test_to_json_cleans_nested_nan_and_inf():
+    nan, inf = float("nan"), float("inf")
+    result = ExperimentResult(
+        experiment="x",
+        paper_ref="y",
+        rows=[{"flat": nan, "nested": [1.0, nan, {"deep": inf}]}],
+        summary={"flat": nan, "list": [nan, -inf], "np": np.float64("nan")},
+    )
+    payload = json.loads(result.to_json())  # must not raise / emit NaN
+    assert payload["rows"][0]["flat"] is None
+    assert payload["rows"][0]["nested"][1] is None
+    assert payload["rows"][0]["nested"][2]["deep"] == "inf"
+    assert payload["summary"]["flat"] is None
+    assert payload["summary"]["list"] == [None, "-inf"]
+    assert payload["summary"]["np"] is None
