@@ -28,14 +28,37 @@ class ExperimentResult:
 
     def to_json(self) -> str:
         """Machine-readable dump (rows + summary + telemetry) for tooling."""
+        payload = self.to_payload()
+        if self.telemetry is None:
+            payload.pop("telemetry")
+        return json.dumps(payload, indent=2)
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict for caching and cross-process shipping.
+
+        Normalizes rows/summary/telemetry through :func:`_clean` (numpy
+        scalars -> python, NaN -> None, tuples -> lists), so a result
+        that round-trips through the cache or a pool worker is
+        *bit-identical* to one built in-process from the same payload —
+        the invariant behind the ``--jobs 1`` vs ``--jobs 4`` and
+        warm-vs-cold cache equality tests.
+        """
         payload = asdict(self)
         payload["rows"] = _clean(self.rows)
         payload["summary"] = _clean(self.summary)
-        if self.telemetry is None:
-            payload.pop("telemetry")
-        else:
-            payload["telemetry"] = _clean(self.telemetry)
-        return json.dumps(payload, indent=2)
+        payload["telemetry"] = _clean(self.telemetry)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from a :meth:`to_payload` dict (cache load)."""
+        return cls(
+            experiment=payload["experiment"],
+            paper_ref=payload["paper_ref"],
+            rows=payload["rows"],
+            summary=payload.get("summary") or {},
+            telemetry=payload.get("telemetry"),
+        )
 
     def to_text(self) -> str:
         """Render as an aligned text table."""

@@ -18,6 +18,7 @@ from .workloads import synthetic_workloads
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Sec. VIII: chiplet temporal reuse (see the module docstring)."""
     workload = synthetic_workloads(scenes=("lego",))[0]
     system = ChipletSystem(ChipletConfig())
     bandwidth = BandwidthModel()

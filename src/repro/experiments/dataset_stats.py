@@ -37,6 +37,7 @@ def _rows_for(workloads, suite: str) -> list:
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce DESIGN.md: substitution statistics (see the module docstring)."""
     synth = synthetic_workloads(
         scenes=("mic", "lego", "ship") if quick else None
     )

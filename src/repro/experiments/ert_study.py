@@ -53,6 +53,7 @@ def _analytic_render(scene, width=64, max_samples=192):
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce extension: early ray termination (see the module docstring)."""
     scenes = ("hotdog", "lego", "ship") if quick else synthetic.SYNTHETIC_SCENES
     rows = []
     speedups = []

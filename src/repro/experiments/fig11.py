@@ -30,6 +30,7 @@ from .workloads import synthetic_workloads
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig. 11: per-scene speedup/energy (see the module docstring)."""
     scenes = ("mic", "lego", "ship") if quick else None
     workloads = synthetic_workloads(scenes=scenes)
     chip = SingleChipAccelerator(ChipConfig.scaled())

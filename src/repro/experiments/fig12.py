@@ -21,6 +21,7 @@ PAPER = {"comm_saving": 0.94, "tiled_variance": 0.0}
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig. 12: tiling ablations (T3/T4) (see the module docstring)."""
     scenes = ("garden",) if quick else None
     workloads = nerf360_workloads(scenes=scenes)
     system = MultiChipSystem(MultiChipConfig())

@@ -40,6 +40,7 @@ def _trainer_config(seed: int = 0) -> TrainerConfig:
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig. 13(a): MoE convergence (see the module docstring)."""
     iterations = 120 if quick else 600
     eval_every = iterations // 4
     size = 24 if quick else 48

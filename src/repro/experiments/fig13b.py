@@ -53,6 +53,7 @@ def _psnr_for_size(log2_table: int, quick: bool) -> float:
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig. 13(b): bandwidth vs model size (see the module docstring)."""
     model = BandwidthModel()
     workload = WorkloadVolume.instant_training()
     sizes = range(12, 20)

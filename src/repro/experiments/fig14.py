@@ -20,6 +20,7 @@ from .base import ExperimentResult
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig. 14: chiplet I/O area (see the module docstring)."""
     model = BandwidthModel()
     system = ChipletSystem(ChipletConfig())
     rows = []

@@ -20,6 +20,7 @@ PAPER = {
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig. 3: stage data volumes (see the module docstring)."""
     model = BandwidthModel()
     workload = WorkloadVolume.instant_training()
     volume = model.training_volume(workload)

@@ -21,6 +21,7 @@ PAPER = {"area_saving": 0.55, "power_saving": 0.65}
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig. 6(d): FIEM multiplier (see the module docstring)."""
     rng = np.random.default_rng(0)
     n = 1000 if quick else 100000
     fp = rng.uniform(-8.0, 8.0, size=n).astype(np.float16)

@@ -28,6 +28,7 @@ PAPER = {
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Figs. 9-10: chip characterization (see the module docstring)."""
     proto = SingleChipAccelerator(ChipConfig.prototype())
     scaled = SingleChipAccelerator(ChipConfig.scaled())
     workloads = synthetic_workloads(scenes=("lego", "hotdog", "ship"))

@@ -19,6 +19,7 @@ EXPERT_COUNTS = (1, 2, 4)
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig. 13(a) obs. 2: PSNR vs expert count (see the module docstring)."""
     iterations = 100 if quick else 500
     size = 24 if quick else 40
     dataset = nerf360.make_dataset(

@@ -2,8 +2,11 @@
 
 ``fusion3d-experiments list`` shows every reproducible table/figure;
 ``fusion3d-experiments run table3`` regenerates one; ``run all`` walks
-the whole evaluation section.  ``--full`` switches off quick mode (more
-scenes, more training iterations).
+the whole evaluation section serially.  ``run-all --jobs N`` fans the
+sweep out over a process pool with result caching (see
+:mod:`repro.parallel`); ``cache info`` / ``cache clear`` manage the
+on-disk cache.  ``--full`` switches off quick mode (more scenes, more
+training iterations).
 
 Observability: ``run --trace-out trace.json`` records a Chrome-trace
 (open in ``chrome://tracing`` or https://ui.perfetto.dev), ``run
@@ -17,7 +20,9 @@ ships a ``NullHandler`` so library users see nothing by default.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
+import os
 import sys
 
 from .. import telemetry
@@ -204,6 +209,71 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_run_all(args) -> int:
+    """The parallel sweep: cache lookup, process-pool fan-out, report."""
+    from .. import parallel
+
+    cache = None if args.no_cache else parallel.ResultCache(args.cache_dir)
+    collect = bool(args.metrics or args.trace_out)
+    report = parallel.run_experiments(
+        names=args.names or None,
+        jobs=args.jobs,
+        quick=not args.full,
+        timeout_s=args.timeout or None,
+        retries=0 if args.no_retry else 1,
+        cache=cache,
+        collect_telemetry=collect,
+    )
+    if args.json:
+        payload = {
+            "report": report.summary(),
+            "results": {
+                o.name: o.result.to_payload()
+                for o in report.outcomes
+                if o.result is not None
+            },
+        }
+        logger.info("%s", json.dumps(payload, indent=2))
+    else:
+        for outcome in report.outcomes:
+            if outcome.result is not None:
+                logger.info("%s\n", outcome.result.to_text())
+        logger.info("%s", report.to_text())
+    if args.metrics:
+        logger.info("%s", format_metrics(report.merged_metrics()))
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            json.dump(
+                {
+                    "traceEvents": report.merged_trace_events(),
+                    "displayTimeUnit": "ms",
+                },
+                fh,
+            )
+        logger.info("wrote merged Chrome trace to %s", args.trace_out)
+    return 1 if report.failures else 0
+
+
+def _cmd_cache(args) -> int:
+    """Inspect (``info``) or wipe (``clear``) the on-disk result cache."""
+    from .. import parallel
+
+    cache = parallel.ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        logger.info("removed %d cache entries under %s", removed, cache.root)
+        return 0
+    stats = cache.stats()
+    logger.info("cache root: %s", stats["root"])
+    for section in ("results", "traces"):
+        entry = stats[section]
+        logger.info(
+            "  %-8s %5d entries  %s", section, entry["entries"],
+            _fmt(entry["bytes"] / 1e6) + " MB",
+        )
+    return 0
+
+
 def _cmd_report(args) -> int:
     with telemetry.session() as tel:
         result = run_experiment(args.name, quick=not args.full)
@@ -217,6 +287,7 @@ def _cmd_report(args) -> int:
 
 
 def main(argv: list = None) -> int:
+    """CLI entry point (``fusion3d-experiments``); returns an exit code."""
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
         "--quiet",
@@ -254,6 +325,81 @@ def main(argv: list = None) -> int:
         action="store_true",
         help="collect and print the telemetry metrics snapshot",
     )
+    run_all_parser = sub.add_parser(
+        "run-all",
+        parents=[common],
+        help="run many experiments on a process pool, with result caching",
+    )
+    run_all_parser.add_argument(
+        "names",
+        nargs="*",
+        help="experiment names (default: every registered experiment)",
+    )
+    run_all_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        metavar="N",
+        help="worker processes (default: CPU count; 1 = run inline)",
+    )
+    run_all_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full scenes/iterations instead of the quick subset",
+    )
+    run_all_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document (report + per-experiment payloads)",
+    )
+    run_all_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="per-experiment time budget in seconds (0 = unlimited)",
+    )
+    run_all_parser.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="fail crashed experiments immediately instead of retrying once",
+    )
+    run_all_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything; neither read nor write the cache",
+    )
+    run_all_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache location (default: $FUSION3D_CACHE_DIR or ~/.cache/fusion3d)",
+    )
+    run_all_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged cross-worker metrics snapshot",
+    )
+    run_all_parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a merged Chrome trace (one pid track per worker)",
+    )
+    cache_parser = sub.add_parser(
+        "cache",
+        parents=[common],
+        help="inspect or clear the on-disk result/trace cache",
+    )
+    cache_parser.add_argument(
+        "action", choices=("info", "clear"), help="what to do with the cache"
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache location (default: $FUSION3D_CACHE_DIR or ~/.cache/fusion3d)",
+    )
     report_parser = sub.add_parser(
         "report",
         parents=[common],
@@ -280,6 +426,10 @@ def main(argv: list = None) -> int:
         return _cmd_list()
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "run-all":
+        return _cmd_run_all(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return _cmd_run(args)
 
 

@@ -14,6 +14,7 @@ from .base import ExperimentResult
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Sec. II-D: yield/cost of scaling (see the module docstring)."""
     areas = [
         ("Fusion-3D chip", 8.7),
         ("RT-NeRF edge", 18.85),

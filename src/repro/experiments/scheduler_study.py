@@ -28,6 +28,7 @@ N_CORES = 16
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig. 5(c): dispatch policies (see the module docstring)."""
     scenes = ("mic", "ship") if quick else None
     workloads = synthetic_workloads(scenes=scenes)
     rows = []

@@ -22,6 +22,7 @@ GPU_STAGE_SHARES = {"sampling": 0.10, "interp": 0.55, "postproc": 0.35}
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Sec. VI-C: per-stage speedup (see the module docstring)."""
     scenes = ("lego", "hotdog") if quick else None
     workloads = synthetic_workloads(scenes=scenes)
     chip = SingleChipAccelerator(ChipConfig.scaled())

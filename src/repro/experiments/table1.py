@@ -14,6 +14,7 @@ from .base import ExperimentResult
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Table I: off-chip bandwidth comparison (see the module docstring)."""
     model = BandwidthModel()
     workload = WorkloadVolume.instant_training()
     ours = model.required_training_bandwidth_gbps(

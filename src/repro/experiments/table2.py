@@ -58,6 +58,7 @@ def _train_with_quantization(
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Table II: INT8 quantized-training quality (see the module docstring)."""
     scenes = ("mic", "lego") if quick else synthetic.SYNTHETIC_SCENES
     iterations = 250 if quick else 1000
     datasets = [

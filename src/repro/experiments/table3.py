@@ -55,6 +55,7 @@ def simulate_this_work(quick: bool = True) -> dict:
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Table III: single chip vs SOTA (see the module docstring)."""
     ours = simulate_this_work(quick)
     rows = []
     for spec in TABLE3_BASELINES:

@@ -25,6 +25,7 @@ PAPER = {
 
 
 def simulate_this_work(quick: bool = True) -> dict:
+    """Simulate the 4-chip system on the NeRF-360 suite; headline rates."""
     scenes = ("bicycle", "garden") if quick else None
     workloads = nerf360_workloads(scenes=scenes)
     system = MultiChipSystem(MultiChipConfig())
@@ -46,6 +47,7 @@ def simulate_this_work(quick: bool = True) -> dict:
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Table IV: multi-chip vs cloud platforms (see the module docstring)."""
     ours = simulate_this_work(quick)
     rows = []
     for spec in TABLE4_BASELINES:

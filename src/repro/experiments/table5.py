@@ -28,6 +28,7 @@ PAPER = {
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Table V: per-scene NeRF-360 vs 2080 Ti (see the module docstring)."""
     scenes = ("bicycle", "garden", "room") if quick else None
     workloads = nerf360_workloads(scenes=scenes)
     system = MultiChipSystem(MultiChipConfig())

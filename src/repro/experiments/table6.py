@@ -26,6 +26,7 @@ PAPER_SPEEDUP = {
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Table VI: sampling ablation (T1) (see the module docstring)."""
     scenes = ("mic", "lego", "ship") if quick else None
     workloads = synthetic_workloads(scenes=scenes)
     module = SamplingModule()

@@ -86,6 +86,7 @@ def _train_dense(models, dataset, iterations: int, seed: int = 0) -> float:
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Sec. VI-C: TensoRF adaptation (see the module docstring)."""
     iterations = 150 if quick else 500
     resolution = 16 if quick else 32
     dataset = synthetic.make_dataset(

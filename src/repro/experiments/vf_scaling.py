@@ -19,6 +19,7 @@ VOLTAGES = (0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05)
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig. 10(d) ext: DVFS operating points (see the module docstring)."""
     workload = synthetic_workloads(scenes=("lego",))[0]
     rows = []
     efficiencies = []

@@ -24,6 +24,7 @@ ANGULAR_VELOCITIES = (0.0, 15.0, 30.0, 60.0, 120.0, 240.0, 480.0)
 
 
 def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce Table III fn. 1: warping vs motion (see the module docstring)."""
     workload = synthetic_workloads(scenes=("lego",))[0]
     chip = SingleChipAccelerator(ChipConfig.scaled())
     ours_fps = fps_from_throughput(

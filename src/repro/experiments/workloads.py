@@ -10,6 +10,7 @@ statistics in milliseconds instead of minutes of training.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,7 +40,33 @@ class SceneWorkload:
 
     @property
     def mean_samples_per_ray(self) -> float:
+        """Kept samples per ray after occupancy gating (trace mean)."""
         return self.trace.mean_samples_per_ray
+
+
+def _scene_signature(scene: AnalyticScene) -> str:
+    """Content signature of a scene's analytic geometry.
+
+    Two scenes with the same signature produce the same trace (given
+    equal extraction parameters), so the trace cache keys on this rather
+    than the name alone — a re-parameterized scene that keeps its name
+    still misses.
+    """
+    return json.dumps(
+        {
+            "name": scene.name,
+            "world_min": scene.world_min.tolist(),
+            "world_max": scene.world_max.tolist(),
+            "background": scene.background,
+            "color_frequency": scene.color_frequency,
+            "primitives": [
+                [p.kind, list(p.center), list(p.size), list(p.color),
+                 p.density, p.edge]
+                for p in scene.primitives
+            ],
+        },
+        sort_keys=True,
+    )
 
 
 def _scene_camera(scene: AnalyticScene, large_scale: bool) -> Camera:
@@ -60,7 +87,41 @@ def scene_workload(
     encoding: HashEncoding = None,
     seed: int = 0,
 ) -> SceneWorkload:
-    """Extract a workload trace from a scene's analytic geometry."""
+    """Extract a workload trace from a scene's analytic geometry.
+
+    When a :mod:`repro.parallel.cache` is active (the engine activates
+    one in every worker) and the default encoding is in use, the trace
+    is served from / stored to the on-disk cache, keyed by the scene's
+    content signature, the extraction parameters, and the source
+    fingerprint of the packages that determine traces — so identical
+    workloads are extracted once per source revision, not once per
+    experiment per run.
+    """
+    # Local import: repro.parallel must stay importable from the nerf hot
+    # paths, so the dependency points this way only and stays lazy.
+    from ..parallel import cache as parallel_cache
+    from ..parallel.fingerprint import TRACE_PACKAGES, source_fingerprint
+
+    active = parallel_cache.get_active()
+    key = None
+    if active is not None and encoding is None:
+        key = parallel_cache.cache_key(
+            "scene-workload",
+            scene=_scene_signature(scene),
+            large_scale=bool(large_scale),
+            max_samples=max_samples,
+            occupancy_resolution=occupancy_resolution,
+            seed=seed,
+            fingerprint=source_fingerprint(TRACE_PACKAGES),
+        )
+        arrays = active.get_trace(key)
+        if arrays is not None:
+            occupancy_fraction = float(arrays.pop("occupancy_fraction"))
+            return SceneWorkload(
+                name=scene.name,
+                trace=WorkloadTrace.from_arrays(arrays),
+                occupancy_fraction=occupancy_fraction,
+            )
     camera = _scene_camera(scene, large_scale)
     normalizer = scene.normalizer()
     occupancy = OccupancyGrid(resolution=occupancy_resolution, threshold=0.5)
@@ -81,6 +142,10 @@ def scene_workload(
         encoding=encoding,
         max_samples=max_samples,
     )
+    if key is not None:
+        arrays = trace.to_arrays()
+        arrays["occupancy_fraction"] = np.float64(occupancy.occupancy_fraction)
+        active.put_trace(key, arrays)
     return SceneWorkload(
         name=scene.name,
         trace=trace,

@@ -51,18 +51,27 @@ def render_image(
     occupancy: OccupancyGrid = None,
     background: float = 1.0,
     chunk: int = 8192,
+    jobs: int = 1,
 ) -> np.ndarray:
     """Render a full image, chunked to bound peak memory.
+
+    With ``jobs > 1`` the pixel chunks evaluate concurrently on a thread
+    pool (``repro.parallel.chunking``): each chunk's pipeline — marcher,
+    model forward, compositing — only reads shared state and writes its
+    own output slice, and chunk boundaries are fixed by ``chunk`` alone,
+    so the image is bit-identical for every ``jobs`` setting.
 
     Returns an ``(h, w, 3)`` float image in [0, 1].
     """
     if chunk < 1:
         raise ValueError("chunk must be positive")
+    from ..parallel.chunking import parallel_map_chunks
+
     rays = generate_rays(camera)
     origins, directions = normalizer.rays_to_unit(rays.origins, rays.directions)
     out = np.empty((camera.n_pixels, 3))
-    for start in range(0, camera.n_pixels, chunk):
-        stop = min(start + chunk, camera.n_pixels)
+
+    def render_chunk(start, stop):
         colors, _, _ = render_rays(
             model,
             origins[start:stop],
@@ -72,6 +81,8 @@ def render_image(
             background=background,
         )
         out[start:stop] = colors
+
+    parallel_map_chunks(render_chunk, camera.n_pixels, chunk, jobs=jobs)
     return np.clip(out, 0.0, 1.0).reshape(camera.height, camera.width, 3)
 
 

@@ -135,6 +135,55 @@ class RayMarcher:
             self._record_batch(tel, batch)
             return batch
 
+    def sample_chunked(
+        self,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        occupancy: OccupancyGrid = None,
+        rng: np.random.Generator = None,
+        chunk: int = 8192,
+        jobs: int = 1,
+    ) -> SampleBatch:
+        """March a large ray batch in ray-contiguous chunks.
+
+        Semantically identical to :meth:`sample` — every ray's samples
+        depend only on that ray, chunks are split and re-assembled in
+        ray order, and chunk boundaries never move with ``jobs`` — so
+        the returned batch is bit-identical to the one-shot call for
+        deterministic sampling.  With ``jobs > 1`` chunks evaluate on a
+        thread pool (the NumPy kernels release the GIL), which is how a
+        single large experiment uses multiple workers.
+
+        Jittered sampling draws from a *sequential* RNG, so when
+        ``jitter`` is on and an ``rng`` is supplied this falls back to
+        the one-shot path rather than silently changing the stream.
+        """
+        origins = np.atleast_2d(np.asarray(origins, dtype=np.float64))
+        directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+        n_rays = origins.shape[0]
+        if n_rays <= chunk or (self.config.jitter and rng is not None):
+            return self.sample(origins, directions, occupancy=occupancy, rng=rng)
+        from ..parallel.chunking import chunk_spans, parallel_map_chunks
+
+        def march(start, stop):
+            return self.sample(
+                origins[start:stop], directions[start:stop], occupancy=occupancy
+            )
+
+        spans = chunk_spans(n_rays, chunk)
+        batches = parallel_map_chunks(march, n_rays, chunk, jobs=jobs)
+        return SampleBatch(
+            positions=np.concatenate([b.positions for b in batches]),
+            directions=np.concatenate([b.directions for b in batches]),
+            deltas=np.concatenate([b.deltas for b in batches]),
+            ts=np.concatenate([b.ts for b in batches]),
+            ray_idx=np.concatenate(
+                [b.ray_idx + start for b, (start, _) in zip(batches, spans)]
+            ),
+            n_rays=n_rays,
+            candidates=sum(b.candidates for b in batches),
+        )
+
     @staticmethod
     def _record_batch(tel, batch: "SampleBatch") -> None:
         """Stage I workload metrics: gating rate and per-ray skew."""

