@@ -30,6 +30,7 @@ from . import (
     chiplet_scaling,
     dataset_stats,
     ert_study,
+    fault_sweep,
     fig3,
     fig6,
     fig9_10,
@@ -80,6 +81,7 @@ REGISTRY = {
     "chiplet_scaling": (chiplet_scaling, "Sec. VIII: chiplet temporal reuse"),
     "moe_scaling": (moe_scaling, "Fig. 13(a) obs. 2: PSNR vs expert count"),
     "ert_study": (ert_study, "extension: early ray termination"),
+    "fault_sweep": (fault_sweep, "robustness: faults & graceful degradation"),
     "warping_study": (warping_study, "Table III fn. 1: warping vs motion"),
     "dataset_stats": (dataset_stats, "DESIGN.md: substitution statistics"),
 }
@@ -189,21 +191,41 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
+    from ..robustness import faults as fault_plans
+    from ..robustness.degradation import format_degradation
+
     names = list(REGISTRY) if args.name == "all" else [args.name]
-    want_telemetry = bool(args.trace_out or args.metrics)
+    plan = None
+    if getattr(args, "faults", None):
+        plan = fault_plans.FaultPlan.from_file(args.faults)
+        logger.info("fault plan loaded from %s (seed=%d)", args.faults, plan.seed)
+    # A fault run always records telemetry: the degradation report is
+    # rendered from the robustness.* metrics the injection sites emit.
+    want_telemetry = bool(args.trace_out or args.metrics or plan is not None)
     tel = telemetry.enable() if want_telemetry else None
+    if plan is not None:
+        fault_plans.activate(plan)
     try:
         for name in names:
             result = run_experiment(name, quick=not args.full)
             if tel is not None:
                 result.telemetry = tel.summary()
             logger.info("%s\n", result.to_json() if args.json else result.to_text())
+        if plan is not None:
+            logger.info("%s", format_degradation(tel.metrics.snapshot()))
+            log = fault_plans.get_log()
+            if log is not None and len(log):
+                logger.info("faults fired:")
+                for entry in log.entries:
+                    logger.info("  [%s] %s", entry["site"], entry["description"])
         if tel is not None and args.trace_out:
             tel.tracer.write_chrome_trace(args.trace_out)
             logger.info("wrote Chrome trace to %s", args.trace_out)
         if tel is not None and args.metrics:
             logger.info("%s", format_metrics(tel.metrics.snapshot()))
     finally:
+        if plan is not None:
+            fault_plans.deactivate()
         if tel is not None:
             telemetry.disable()
     return 0
@@ -324,6 +346,13 @@ def main(argv: list = None) -> int:
         "--metrics",
         action="store_true",
         help="collect and print the telemetry metrics snapshot",
+    )
+    run_parser.add_argument(
+        "--faults",
+        metavar="FILE",
+        default=None,
+        help="activate the fault plan in FILE (JSON) for the run and "
+        "print the degradation report",
     )
     run_all_parser = sub.add_parser(
         "run-all",

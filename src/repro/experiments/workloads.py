@@ -21,6 +21,8 @@ from ..nerf.camera import Camera, sphere_poses, ring_poses
 from ..nerf.hash_encoding import HashEncoding, HashEncodingConfig
 from ..nerf.occupancy import OccupancyGrid
 from ..nerf.rays import generate_rays
+from ..robustness import faults
+from ..robustness.injection import inject_trace_faults
 from ..sim.trace import WorkloadTrace, trace_from_rays
 
 #: Default camera resolution for trace extraction.  Workload statistics
@@ -117,10 +119,12 @@ def scene_workload(
         arrays = active.get_trace(key)
         if arrays is not None:
             occupancy_fraction = float(arrays.pop("occupancy_fraction"))
-            return SceneWorkload(
-                name=scene.name,
-                trace=WorkloadTrace.from_arrays(arrays),
-                occupancy_fraction=occupancy_fraction,
+            return _maybe_corrupt(
+                SceneWorkload(
+                    name=scene.name,
+                    trace=WorkloadTrace.from_arrays(arrays),
+                    occupancy_fraction=occupancy_fraction,
+                )
             )
     camera = _scene_camera(scene, large_scale)
     normalizer = scene.normalizer()
@@ -146,10 +150,50 @@ def scene_workload(
         arrays = trace.to_arrays()
         arrays["occupancy_fraction"] = np.float64(occupancy.occupancy_fraction)
         active.put_trace(key, arrays)
+    return _maybe_corrupt(
+        SceneWorkload(
+            name=scene.name,
+            trace=trace,
+            occupancy_fraction=occupancy.occupancy_fraction,
+        )
+    )
+
+
+def _maybe_corrupt(workload: SceneWorkload) -> SceneWorkload:
+    """Apply active trace-corruption faults to a freshly built workload.
+
+    Sits *after* the trace cache on both the hit and miss paths, so the
+    cache only ever holds clean traces and a fault run never poisons
+    later clean runs.  The corruption is deterministic per scene
+    (:meth:`repro.robustness.faults.FaultPlan.rng` salted with the scene
+    name); with no active plan this is a no-op returning the input.
+    """
+    plan = faults.get_active()
+    if plan is None or plan.trace.is_empty:
+        return workload
+    trace = inject_trace_faults(
+        workload.trace, plan.trace, plan.rng(f"trace:{workload.name}")
+    )
+    n_entries = sum(len(p) for p in workload.trace.pair_durations)
+    n_corrupt = min(
+        int(round(plan.trace.corrupt_fraction * n_entries)), n_entries
+    )
+    log = faults.get_log()
+    if log is not None:
+        log.record(
+            "workloads",
+            f"corrupted {n_corrupt} trace entries of scene "
+            f"{workload.name!r} (mode={plan.trace.mode})",
+        )
+    from .. import telemetry
+
+    tel = telemetry.get_session()
+    if tel.enabled and n_corrupt:
+        tel.metrics.counter("robustness.trace.corrupted_entries").inc(n_corrupt)
     return SceneWorkload(
-        name=scene.name,
+        name=workload.name,
         trace=trace,
-        occupancy_fraction=occupancy.occupancy_fraction,
+        occupancy_fraction=workload.occupancy_fraction,
     )
 
 

@@ -75,6 +75,27 @@ LPDDR4_1866 = LinkSpec(
 )
 
 
+def degrade(link: LinkSpec, bandwidth_factor: float) -> LinkSpec:
+    """A faulted copy of ``link`` at a fraction of its bandwidth.
+
+    Models a marginal PCB trace or SerDes lane that trained down to a
+    lower rate: payload bandwidth scales by ``bandwidth_factor`` in
+    (0, 1]; per-byte energy and latency are unchanged.  Used by the
+    fault-injection layer (:class:`repro.robustness.ChipletFaultConfig`);
+    a factor of 1.0 returns the link itself.
+    """
+    if not 0.0 < bandwidth_factor <= 1.0:
+        raise ValueError("bandwidth_factor must be in (0, 1]")
+    if bandwidth_factor == 1.0:
+        return link
+    return LinkSpec(
+        name=f"{link.name} (degraded x{bandwidth_factor:g})",
+        bandwidth_gbps=link.bandwidth_gbps * bandwidth_factor,
+        energy_pj_per_byte=link.energy_pj_per_byte,
+        latency_ns=link.latency_ns,
+    )
+
+
 def required_bandwidth_gbps(nbytes: float, deadline_s: float) -> float:
     """Bandwidth needed to move ``nbytes`` within ``deadline_s``."""
     if deadline_s <= 0:

@@ -11,6 +11,7 @@ whose size *is* the deployment payload.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -20,6 +21,16 @@ from .model import InstantNGPModel, ModelConfig
 from .moe import MoEConfig, MoENeRF
 
 _FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint archive could not be loaded.
+
+    Raised for truncated/corrupt archives, missing metadata, unknown
+    checkpoint kinds, and format-version mismatches — with a message
+    naming the file and the specific problem, instead of a raw
+    ``zipfile``/``KeyError`` surfacing from ``np.load`` internals.
+    """
 
 
 def _encoding_config_dict(config: HashEncodingConfig) -> dict:
@@ -81,15 +92,41 @@ def save_model(model, path) -> int:
 
 
 def load_model(path):
-    """Reconstruct the checkpointed model (architecture + weights)."""
+    """Reconstruct the checkpointed model (architecture + weights).
+
+    Raises :class:`CheckpointError` (a ``ValueError``) when the archive
+    is truncated or corrupt, carries no metadata, or was written by a
+    newer format version than this code understands.
+    """
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = Path(str(path) + ".npz")
-    with np.load(path) as archive:
-        meta = json.loads(str(archive["__meta__"]))
-        if meta.get("format") != _FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint format: {meta.get('format')}")
-        arrays = {k: archive[k] for k in archive.files if k != "__meta__"}
+    try:
+        with np.load(path) as archive:
+            try:
+                meta = json.loads(str(archive["__meta__"]))
+            except KeyError:
+                raise CheckpointError(
+                    f"{path} is not a model checkpoint: missing __meta__ entry"
+                )
+            version = meta.get("format")
+            if version != _FORMAT_VERSION:
+                hint = (
+                    "written by a newer repro version"
+                    if isinstance(version, int) and version > _FORMAT_VERSION
+                    else "corrupt or not a model checkpoint"
+                )
+                raise CheckpointError(
+                    f"{path}: unsupported checkpoint format {version!r} "
+                    f"(this code reads format {_FORMAT_VERSION}; {hint})"
+                )
+            arrays = {k: archive[k] for k in archive.files if k != "__meta__"}
+    except (zipfile.BadZipFile, EOFError, OSError) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise CheckpointError(
+            f"{path} is truncated or corrupt: {exc}"
+        ) from exc
     if meta["kind"] == "instant-ngp":
         model = InstantNGPModel(_model_config_from_dict(meta["model"]))
         model.load_parameters(arrays)
@@ -107,7 +144,7 @@ def load_model(path):
                 }
             )
         return moe
-    raise ValueError(f"unknown checkpoint kind {meta['kind']!r}")
+    raise CheckpointError(f"{path}: unknown checkpoint kind {meta['kind']!r}")
 
 
 def deployment_payload_bytes(model) -> int:

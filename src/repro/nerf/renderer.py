@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..robustness import faults
+from ..robustness.injection import scrub_colors
 from .aabb import SceneNormalizer
 from .camera import Camera
 from .occupancy import OccupancyGrid
@@ -40,7 +42,26 @@ def render_rays(
         batch.n_rays,
         background=background,
     )
-    return result.colors, batch, result
+    colors = result.colors
+    if faults.get_active() is not None:
+        # Clamp-and-flag: a corrupted sample (e.g. an injected SRAM bit
+        # flip driving sigma to inf) degrades its own pixel to background
+        # instead of poisoning the whole image and every PSNR after it.
+        colors, n_flagged = scrub_colors(colors, background)
+        if n_flagged:
+            from .. import telemetry
+
+            log = faults.get_log()
+            if log is not None:
+                log.record(
+                    "renderer", f"clamped {n_flagged} non-finite pixel values"
+                )
+            tel = telemetry.get_session()
+            if tel.enabled:
+                tel.metrics.counter("robustness.render.nonfinite_clamped").inc(
+                    n_flagged
+                )
+    return colors, batch, result
 
 
 def render_image(

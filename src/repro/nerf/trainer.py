@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import telemetry
+from ..robustness.errors import DivergenceError, DivergenceEvent
 from .aabb import SceneNormalizer
 from .occupancy import OccupancyGrid
 from .optimizer import Adam, mse_loss
@@ -46,6 +47,8 @@ class TrainState:
     iteration: int = 0
     losses: list = field(default_factory=list)
     psnr_history: list = field(default_factory=list)
+    #: Structured record of every skipped step (see DivergenceEvent).
+    divergence_events: list = field(default_factory=list)
 
 
 class Trainer:
@@ -80,6 +83,9 @@ class Trainer:
         self.post_step_hook = None
         #: Last sample batch, for workload-trace extraction.
         self.last_batch = None
+        #: Gradient-norm divergence threshold; 0 disables the check.
+        #: Typically set by a robustness watchdog on attach.
+        self.grad_norm_threshold = 0.0
 
     def train_step(self) -> float:
         """One optimization step; returns the batch loss."""
@@ -101,8 +107,18 @@ class Trainer:
             tel.hooks.emit(telemetry.ON_BATCH, trainer=self, batch=batch)
             if len(batch) == 0:
                 # Degenerate batch (all empty space): skip the step entirely.
+                # Benign — nothing was poisoned — but no longer silent: the
+                # skip is recorded as a structured event so a long run of
+                # them can be diagnosed instead of read back as NaN losses.
                 self.state.iteration += 1
                 self.state.losses.append(float("nan"))
+                event = DivergenceEvent(
+                    iteration=self.state.iteration,
+                    reason="degenerate_batch",
+                    detail="ray marching produced zero samples",
+                )
+                self.state.divergence_events.append(event)
+                tel.hooks.emit(telemetry.ON_DIVERGENCE, trainer=self, event=event)
                 tel.hooks.emit(
                     telemetry.ON_ITERATION, trainer=self, loss=float("nan")
                 )
@@ -122,6 +138,12 @@ class Trainer:
                     background=cfg.background,
                 )
                 loss, grad_colors = mse_loss(result.colors, target)
+            if not np.isfinite(loss):
+                # The step never reaches the optimizer: the model the
+                # caller holds is still the last good one.
+                return self._diverge(
+                    tel, reason="non_finite_loss", loss=float(loss)
+                )
             with tel.tracer.span("trainer.backward"):
                 grad_sigma, grad_rgb = composite_backward(
                     grad_colors,
@@ -134,6 +156,19 @@ class Trainer:
                     background=cfg.background,
                 )
                 grads = self.model.backward(grad_sigma, grad_rgb, cache)
+            if self.grad_norm_threshold > 0:
+                grad_norm = float(
+                    np.sqrt(
+                        sum(float(np.sum(np.square(g))) for g in grads.values())
+                    )
+                )
+                if not np.isfinite(grad_norm) or grad_norm > self.grad_norm_threshold:
+                    return self._diverge(
+                        tel,
+                        reason="gradient_explosion",
+                        loss=float(loss),
+                        grad_norm=grad_norm,
+                    )
             with tel.tracer.span("trainer.optimizer_step"):
                 self.optimizer.step(grads)
             self.state.iteration += 1
@@ -163,6 +198,35 @@ class Trainer:
                 m.gauge("trainer.rays_per_s").set(cfg.batch_rays / step_s)
         tel.hooks.emit(telemetry.ON_ITERATION, trainer=self, loss=loss)
         return loss
+
+    def _diverge(
+        self, tel, reason: str, loss: float = float("nan"), grad_norm=None
+    ) -> float:
+        """Record a skipped (diverged) step and dispatch it for recovery.
+
+        Emits ``on_divergence``; if nobody is subscribed, raises
+        :class:`~repro.robustness.errors.DivergenceError` — divergence is
+        never silent.  A subscriber (e.g. a
+        :class:`~repro.robustness.watchdog.DivergenceWatchdog`) claims
+        responsibility, so the step is recorded as NaN and training can
+        continue from whatever state the subscriber restored.
+        """
+        self.state.iteration += 1
+        self.state.losses.append(float("nan"))
+        event = DivergenceEvent(
+            iteration=self.state.iteration,
+            reason=reason,
+            loss=loss,
+            grad_norm=grad_norm,
+        )
+        self.state.divergence_events.append(event)
+        if tel.enabled:
+            tel.metrics.counter("trainer.divergence_events").inc()
+        handled = tel.hooks.emit(telemetry.ON_DIVERGENCE, trainer=self, event=event)
+        if handled == 0:
+            raise DivergenceError(event)
+        tel.hooks.emit(telemetry.ON_ITERATION, trainer=self, loss=float("nan"))
+        return float("nan")
 
     def train(self, n_iterations: int, eval_every: int = 0, eval_views: int = 2) -> TrainState:
         """Run ``n_iterations`` steps, optionally tracking test PSNR."""

@@ -254,11 +254,18 @@ def execute_job(
     therefore the bytes that reach the cache and the report) cannot
     depend on the jobs setting.  Raises :class:`ExperimentTimeout` when
     the ``SIGALRM`` budget expires mid-experiment.
+
+    Where ``SIGALRM`` cannot be armed (non-main thread, or a platform
+    without it), the budget is still enforced post-hoc by wall clock:
+    the job cannot be *interrupted*, but one that exceeded its budget
+    raises :class:`ExperimentTimeout` on completion rather than being
+    silently reported as ``ok``.
     """
     from ..experiments import runner
     from .. import telemetry
 
-    arm = timeout_s is not None and timeout_s > 0 and _alarm_available()
+    want_timeout = timeout_s is not None and timeout_s > 0
+    arm = want_timeout and _alarm_available()
     previous_handler = None
     if arm:
         previous_handler = signal.signal(signal.SIGALRM, _raise_timeout)
@@ -280,6 +287,11 @@ def execute_job(
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous_handler)
     elapsed = time.perf_counter() - start
+    if want_timeout and not arm and elapsed > timeout_s:
+        raise ExperimentTimeout(
+            f"{name} exceeded its {timeout_s:g}s budget "
+            f"({elapsed:.2f}s, wall-clock fallback; SIGALRM unavailable)"
+        )
     return {
         "name": name,
         "result": result.to_payload(),

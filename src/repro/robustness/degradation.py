@@ -1,0 +1,127 @@
+"""Graceful-degradation scheduling and reporting.
+
+When a chiplet dies, the Level-1 (MoE) tiling makes recovery a pure
+scheduling problem: every expert is a *complete* pipeline gated by its
+own occupancy grid, so a surviving chip can run a dead chip's expert
+serially after its own — no weights are resident anywhere else, and the
+I/O module's fusion adder is indifferent to which link a partial pixel
+arrived on.  :func:`plan_remap` implements the greedy least-loaded
+assignment :class:`repro.sim.multichip.MultiChipSystem` uses, and
+:func:`format_degradation` renders the ``robustness.*`` telemetry
+metrics a fault run records into the degradation report the
+``--faults`` runner prints.
+"""
+
+from __future__ import annotations
+
+
+def plan_remap(n_chips: int, dead_chips, loads) -> dict:
+    """Assign every expert to a surviving chip: ``{chip: [expert, ...]}``.
+
+    Each surviving chip keeps its own expert; dead chips' experts are
+    handed to the least-loaded survivor, heaviest orphan first (greedy
+    LPT, the same policy the paper's dispatch scheduler uses for ray
+    jobs).  ``loads[i]`` is expert *i*'s workload proxy (kept samples).
+    Raises :class:`ValueError` when no chip survives or a dead index is
+    out of range.
+    """
+    dead = sorted(set(int(c) for c in dead_chips))
+    if any(c < 0 or c >= n_chips for c in dead):
+        raise ValueError(f"dead chip index out of range for {n_chips} chips: {dead}")
+    survivors = [c for c in range(n_chips) if c not in dead]
+    if not survivors:
+        raise ValueError("all chiplets dead: nothing left to remap onto")
+    if len(loads) != n_chips:
+        raise ValueError("one load entry per expert required")
+    assignment = {c: [c] for c in survivors}
+    total = {c: float(loads[c]) for c in survivors}
+    for expert in sorted(dead, key=lambda c: float(loads[c]), reverse=True):
+        target = min(survivors, key=lambda c: (total[c], c))
+        assignment[target].append(expert)
+        total[target] += float(loads[expert])
+    return assignment
+
+
+#: Metric names the degradation report knows how to narrate, in display
+#: order: (metric key, kind, human template).
+_REPORT_LINES = (
+    ("robustness.chiplets.dead", "gauge", "dead chiplets: {v:.0f}"),
+    ("robustness.chiplets.survivors", "gauge", "surviving chiplets: {v:.0f}"),
+    (
+        "robustness.chiplets.remapped_experts",
+        "gauge",
+        "experts remapped onto survivors: {v:.0f}",
+    ),
+    (
+        "robustness.chiplets.dropped_experts",
+        "gauge",
+        "experts dropped from the fused render: {v:.0f}",
+    ),
+    (
+        "robustness.remap.latency_cost",
+        "gauge",
+        "latency cost vs healthy board: {v:.2f}x",
+    ),
+    (
+        "robustness.degraded.psnr_drop_db",
+        "gauge",
+        "PSNR cost of degraded render: {v:.2f} dB",
+    ),
+    (
+        "robustness.trace.corrupted_entries",
+        "counter",
+        "workload-trace entries corrupted: {v:.0f}",
+    ),
+    (
+        "robustness.trace.scrubbed_entries",
+        "counter",
+        "corrupted trace entries scrubbed before simulation: {v:.0f}",
+    ),
+    (
+        "robustness.render.nonfinite_clamped",
+        "counter",
+        "non-finite pixels clamped to background: {v:.0f}",
+    ),
+    (
+        "robustness.sram.hash_table_flips",
+        "counter",
+        "SRAM bit flips injected into hash tables: {v:.0f}",
+    ),
+    (
+        "robustness.sram.mlp_flips",
+        "counter",
+        "SRAM bit flips injected into MLP weights: {v:.0f}",
+    ),
+    ("robustness.watchdog.rollbacks", "counter", "watchdog rollbacks: {v:.0f}"),
+)
+
+
+def format_degradation(snapshot: dict) -> str:
+    """Render a metrics snapshot's ``robustness.*`` entries as a report.
+
+    ``snapshot`` is :meth:`repro.telemetry.metrics.MetricsRegistry.snapshot`
+    output.  Produces the ``degradation report`` block the ``--faults``
+    runner prints (and CI greps for); says so explicitly when the active
+    plan fired no fault.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    lines = ["degradation report", "-" * len("degradation report")]
+    found = False
+    for name, kind, template in _REPORT_LINES:
+        source = counters if kind == "counter" else gauges
+        if name not in source:
+            continue
+        lines.append("  " + template.format(v=float(source[name])))
+        found = True
+    leftovers = sorted(
+        set(n for n in list(counters) + list(gauges) if n.startswith("robustness."))
+        - {name for name, _, _ in _REPORT_LINES}
+    )
+    for name in leftovers:
+        value = counters.get(name, gauges.get(name))
+        lines.append(f"  {name} = {float(value):g}")
+        found = True
+    if not found:
+        lines.append("  no faults fired (plan active, but nothing was injected)")
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Deterministic fault injectors and the scrubbers that survive them.
+
+Three fault models, matching the storage formats the hardware actually
+uses (Sec. V):
+
+* :func:`flip_fp16_bits` — SRAM soft errors in the fp16 feature SRAM
+  (hash-table entries): the value is round-tripped through its IEEE-754
+  half-precision bit pattern with ``n`` random bits flipped.
+* :func:`flip_quantized_bits` — soft errors in the INT8 weight store:
+  the value is quantized to its fixed-point code word
+  (:func:`repro.nerf.quantization.quantize_int8_fixed` format), ``n``
+  random code bits are flipped, and the code is dequantized.
+* :func:`inject_trace_faults` — corrupted workload-trace entries: NaN
+  poison or duration spikes in a trace's pair durations.
+
+The matching graceful-degradation half: :func:`scrub_trace` clamps
+non-finite/negative durations to zero (flagging the count) before a
+corrupted trace reaches the cycle simulator, and :func:`scrub_colors`
+clamps non-finite rendered pixels to the background instead of letting
+NaN propagate into PSNR.
+
+Every injector takes an explicit :class:`numpy.random.Generator` —
+derive it from :meth:`repro.robustness.faults.FaultPlan.rng` with a
+site-specific salt so injections are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .faults import SramFaultConfig, TraceFaultConfig
+
+
+def flip_fp16_bits(
+    values: np.ndarray, n_flips: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Return ``values`` with ``n_flips`` random fp16 bit flips applied.
+
+    The array is first rounded to fp16 (the storage precision whose bits
+    are flipped), so the result models exactly what a soft error in the
+    feature SRAM would read back.  Flip targets (entry, bit) are drawn
+    independently, so two flips can land on the same entry.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if n_flips < 0:
+        raise ValueError("n_flips must be non-negative")
+    stored = values.astype(np.float16)
+    if n_flips == 0 or stored.size == 0:
+        return stored.astype(np.float64)
+    bits = stored.reshape(-1).view(np.uint16).copy()
+    entries = rng.integers(0, bits.size, size=n_flips)
+    positions = rng.integers(0, 16, size=n_flips)
+    for entry, position in zip(entries, positions):
+        bits[entry] ^= np.uint16(1 << int(position))
+    flipped = bits.view(np.float16).astype(np.float64).reshape(values.shape)
+    return flipped
+
+
+def flip_quantized_bits(
+    values: np.ndarray,
+    n_flips: int,
+    rng: np.random.Generator,
+    step: float = 1.0 / 16.0,
+) -> np.ndarray:
+    """Return ``values`` with ``n_flips`` bit flips in INT8 code space.
+
+    Values are quantized to the fixed-point format of
+    :func:`repro.nerf.quantization.quantize_int8_fixed` (two's-complement
+    code words), random code bits are flipped — a bit-7 flip toggles the
+    sign, the large-magnitude error real SRAM upsets produce — and the
+    codes are dequantized back.
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    if n_flips < 0:
+        raise ValueError("n_flips must be non-negative")
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.clip(np.round(values / step), -128, 127).astype(np.int8)
+    if n_flips == 0 or codes.size == 0:
+        return codes.astype(np.float64) * step
+    raw = codes.reshape(-1).view(np.uint8).copy()
+    entries = rng.integers(0, raw.size, size=n_flips)
+    positions = rng.integers(0, 8, size=n_flips)
+    for entry, position in zip(entries, positions):
+        raw[entry] ^= np.uint8(1 << int(position))
+    return raw.view(np.int8).astype(np.float64).reshape(values.shape) * step
+
+
+def inject_model_faults(
+    model, config: SramFaultConfig, rng: np.random.Generator
+) -> dict:
+    """Flip bits in a model's weight stores, in place.
+
+    Hash-table parameters (any parameter named ``hash_tables``, possibly
+    expert-prefixed) take fp16 flips; every other parameter (MLP weights
+    and biases) takes INT8 fixed-point flips.  The requested flip counts
+    are spread over the matching tensors proportionally to their size.
+    Returns ``{"hash_table_flips": n, "mlp_flips": n}`` actually applied.
+    """
+    params = model.parameters()
+    hash_names = [n for n in params if n.split(".")[-1] == "hash_tables"]
+    mlp_names = [n for n in params if n.split(".")[-1] != "hash_tables"]
+    applied = {"hash_table_flips": 0, "mlp_flips": 0}
+    for names, total, kind in (
+        (hash_names, config.hash_table_bit_flips, "hash"),
+        (mlp_names, config.mlp_bit_flips, "mlp"),
+    ):
+        if total == 0 or not names:
+            continue
+        sizes = np.array([params[n].size for n in names], dtype=np.float64)
+        targets = rng.choice(len(names), size=total, p=sizes / sizes.sum())
+        counts = np.bincount(targets, minlength=len(names))
+        for name, count in zip(names, counts):
+            if count == 0:
+                continue
+            tensor = params[name]
+            if kind == "hash":
+                tensor[...] = flip_fp16_bits(tensor, int(count), rng)
+                applied["hash_table_flips"] += int(count)
+            else:
+                tensor[...] = flip_quantized_bits(
+                    tensor, int(count), rng, step=config.quant_step
+                )
+                applied["mlp_flips"] += int(count)
+    return applied
+
+
+def inject_trace_faults(trace, config: TraceFaultConfig, rng: np.random.Generator):
+    """Return a corrupted copy of a workload trace.
+
+    A ``corrupt_fraction`` of the trace's pair-duration entries are
+    poisoned — NaN for ``mode="nan"``, multiplied by ``spike_factor``
+    for ``mode="spike"``.  The input trace is never mutated (it may be
+    shared with the on-disk trace cache).
+    """
+    from ..sim.trace import WorkloadTrace
+
+    if config.corrupt_fraction <= 0:
+        return trace
+    flat = [d for pairs in trace.pair_durations for d in pairs]
+    n_entries = len(flat)
+    n_corrupt = int(round(config.corrupt_fraction * n_entries))
+    durations = [list(pairs) for pairs in trace.pair_durations]
+    if n_corrupt > 0 and n_entries > 0:
+        targets = set(
+            rng.choice(n_entries, size=min(n_corrupt, n_entries), replace=False)
+            .tolist()
+        )
+        cursor = 0
+        for pairs in durations:
+            for j in range(len(pairs)):
+                if cursor in targets:
+                    if config.mode == "nan":
+                        pairs[j] = float("nan")
+                    else:
+                        pairs[j] = pairs[j] * config.spike_factor
+                cursor += 1
+    return WorkloadTrace(
+        n_rays=trace.n_rays,
+        pair_durations=durations,
+        n_samples=trace.n_samples,
+        n_candidates=trace.n_candidates,
+        vertex_corners=trace.vertex_corners,
+        vertex_indices=trace.vertex_indices,
+        samples_per_ray=trace.samples_per_ray,
+        n_cells_visited=trace.n_cells_visited,
+    )
+
+
+def scrub_trace(trace):
+    """Sanitize a trace for simulation: ``(clean_trace, n_scrubbed)``.
+
+    Non-finite or negative pair durations — the signature of injected
+    (or real) SRAM corruption in the trace buffers — are clamped to zero
+    and counted.  Finite spikes are deliberately *not* clamped: their
+    latency cost is the measurable degradation.  When nothing needs
+    scrubbing the input trace is returned unchanged (no copy).
+    """
+    from ..sim.trace import WorkloadTrace
+
+    n_scrubbed = 0
+    durations = []
+    for pairs in trace.pair_durations:
+        clean = list(pairs)
+        for j, duration in enumerate(clean):
+            if not np.isfinite(duration) or duration < 0:
+                clean[j] = 0.0
+                n_scrubbed += 1
+        durations.append(clean)
+    if n_scrubbed == 0:
+        return trace, 0
+    per_ray = np.array([sum(p) for p in durations], dtype=np.float64)
+    return (
+        WorkloadTrace(
+            n_rays=trace.n_rays,
+            pair_durations=durations,
+            n_samples=trace.n_samples,
+            n_candidates=trace.n_candidates,
+            vertex_corners=trace.vertex_corners,
+            vertex_indices=trace.vertex_indices,
+            samples_per_ray=per_ray,
+            n_cells_visited=trace.n_cells_visited,
+        ),
+        n_scrubbed,
+    )
+
+
+def scrub_colors(colors: np.ndarray, background: float) -> tuple:
+    """Clamp-and-flag non-finite rendered pixels: ``(colors, n_flagged)``.
+
+    Any NaN/inf channel value is replaced by the background color so one
+    corrupted sample degrades one pixel instead of poisoning the whole
+    image (and every PSNR computed from it).  Returns the input array
+    untouched when every value is finite.
+    """
+    colors = np.asarray(colors)
+    bad = ~np.isfinite(colors)
+    n_flagged = int(bad.sum())
+    if n_flagged == 0:
+        return colors, 0
+    cleaned = colors.copy()
+    cleaned[bad] = background
+    return cleaned, n_flagged

@@ -27,6 +27,8 @@ from ..hw.energy import EnergyModel, OpCounts
 from ..hw.memory_cluster import MemoryClusterSpec
 from ..hw.technology import Technology, TECH_28NM
 from ..nerf.hash_encoding import HashEncodingConfig
+from ..robustness import faults
+from ..robustness.injection import scrub_trace
 from .engine import pipeline_makespan
 from .interp_module import InterpModule, InterpModuleConfig
 from .postproc_module import PostProcModule, PostProcModuleConfig
@@ -186,6 +188,22 @@ class SingleChipAccelerator:
         if workload_scale <= 0:
             raise ValueError("workload_scale must be positive")
         tel = telemetry.get_session()
+        if faults.get_active() is not None:
+            # Scrub-and-flag: corrupted trace entries (NaN/negative
+            # durations from injected SRAM faults in the trace buffers)
+            # are clamped to zero so the cycle model stays finite.
+            trace, n_scrubbed = scrub_trace(trace)
+            if n_scrubbed:
+                log = faults.get_log()
+                if log is not None:
+                    log.record(
+                        "chip",
+                        f"scrubbed {n_scrubbed} corrupted trace entries",
+                    )
+                if tel.enabled:
+                    tel.metrics.counter("robustness.trace.scrubbed_entries").inc(
+                        n_scrubbed
+                    )
         mode = "training" if training else "inference"
         with tel.tracer.span("chip.simulate", chip=self.config.name, mode=mode):
             with tel.tracer.span("sampling"):

@@ -20,7 +20,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import telemetry
-from ..hw.interconnect import LinkSpec, PCB_CHIP_LINK, USB_3_2_GEN1
+from ..hw.interconnect import LinkSpec, PCB_CHIP_LINK, USB_3_2_GEN1, degrade
+from ..robustness import faults
+from ..robustness.degradation import plan_remap
 from .chip import ChipConfig, ChipReport, SingleChipAccelerator
 from .trace import WorkloadTrace
 
@@ -81,6 +83,21 @@ class MultiChipReport:
     power_w: float
     communication: CommunicationReport
     n_rays: int
+    #: Fault-injection bookkeeping; defaults describe a healthy board.
+    degraded: bool = False
+    dead_chips: tuple = ()
+    #: ``{surviving chip: [expert, ...]}`` when degraded, else ``None``.
+    expert_assignment: dict = None
+    #: Runtime the same workload takes on a healthy board (for the
+    #: latency-cost accounting of a degraded run), else ``None``.
+    healthy_runtime_s: float = None
+
+    @property
+    def latency_cost(self) -> float:
+        """Degraded over healthy runtime (1.0 for a healthy board)."""
+        if self.healthy_runtime_s is None or self.healthy_runtime_s <= 0:
+            return 1.0
+        return self.runtime_s / self.healthy_runtime_s
 
     @property
     def n_samples(self) -> float:
@@ -136,6 +153,14 @@ class MultiChipSystem:
         :meth:`SingleChipAccelerator.simulate`."""
         if len(chip_traces) != self.config.n_chips:
             raise ValueError("one trace per chip required")
+        plan = faults.get_active()
+        if plan is not None and not plan.chiplets.is_empty:
+            return self._simulate_degraded(
+                chip_traces,
+                plan.chiplets,
+                training=training,
+                workload_scale=workload_scale,
+            )
         tel = telemetry.get_session()
         with tel.tracer.span("multichip.simulate", n_chips=self.config.n_chips):
             reports = [
@@ -162,6 +187,127 @@ class MultiChipSystem:
             )
         self._record_simulation(tel, report)
         return report
+
+    def _simulate_degraded(
+        self,
+        chip_traces: list,
+        fault_cfg,
+        training: bool = False,
+        workload_scale: float = 1.0,
+    ) -> MultiChipReport:
+        """Simulate the board with dead chiplets and/or degraded links.
+
+        Graceful degradation of the MoE mapping: every expert is a
+        complete pipeline gated by its own occupancy grid, so a dead
+        chip's expert can run *serially* on a surviving chip
+        (``policy="remap"`` — latency cost, no quality cost) or be
+        dropped from the fused render (``policy="drop"`` — quality cost,
+        no latency cost).  The report carries the healthy-board runtime
+        so the latency cost of 4→3→2-chip operation is directly
+        measurable.
+        """
+        cfg = self.config
+        n = cfg.n_chips
+        dead = tuple(c for c in fault_cfg.dead_chips if c < n)
+        link = degrade(cfg.chip_link, fault_cfg.link_bandwidth_factor)
+        tel = telemetry.get_session()
+        with tel.tracer.span(
+            "multichip.simulate_degraded", n_chips=n, dead_chips=len(dead)
+        ):
+            # Every expert's trace, simulated once: the chips are
+            # identical, so expert e costs the same cycles wherever it
+            # lands.  The dead chips' reports only feed the remap
+            # schedule and the healthy-baseline comparison.
+            own_reports = [
+                chip.simulate(trace, training=training, workload_scale=workload_scale)
+                for chip, trace in zip(self.chips, chip_traces)
+            ]
+            healthy_comm = self.communication(
+                chip_traces, training=training, workload_scale=workload_scale
+            )
+            healthy_runtime = max(
+                max(r.runtime_s for r in own_reports), healthy_comm.transfer_s
+            )
+            if not dead:
+                # Link-only degradation: schedule is the healthy one.
+                assignment = {c: [c] for c in range(n)}
+                per_chip_runtime = [own_reports[c].runtime_s for c in range(n)]
+                reports = own_reports
+            elif fault_cfg.policy == "remap":
+                loads = [float(t.n_samples) for t in chip_traces]
+                assignment = plan_remap(n, dead, loads)
+                per_chip_runtime = [
+                    sum(own_reports[e].runtime_s for e in experts)
+                    for experts in assignment.values()
+                ]
+                # All experts still execute; fused quality is unchanged.
+                reports = [
+                    own_reports[e]
+                    for experts in assignment.values()
+                    for e in experts
+                ]
+            else:  # "drop": dead experts simply vanish from the fusion
+                survivors = [c for c in range(n) if c not in dead]
+                if not survivors:
+                    raise ValueError("all chiplets dead: nothing left to simulate")
+                assignment = {c: [c] for c in survivors}
+                per_chip_runtime = [own_reports[c].runtime_s for c in survivors]
+                reports = [own_reports[c] for c in survivors]
+            n_links = max(n - len(dead), 1)
+            n_senders = n if (not dead or fault_cfg.policy == "remap") else n_links
+            comm = self.communication(
+                chip_traces,
+                training=training,
+                workload_scale=workload_scale,
+                n_senders=n_senders,
+                n_links=n_links,
+                link=link,
+            )
+            runtime = max(max(per_chip_runtime), comm.transfer_s)
+            chip_power = sum(r.energy_j for r in reports) / runtime
+            power = chip_power + cfg.io_power_w + comm.energy_j / runtime
+            report = MultiChipReport(
+                mode="training" if training else "inference",
+                chip_reports=reports,
+                runtime_s=runtime,
+                power_w=power,
+                communication=comm,
+                n_rays=int(round(chip_traces[0].n_rays * workload_scale)),
+                degraded=True,
+                dead_chips=dead,
+                expert_assignment=assignment,
+                healthy_runtime_s=healthy_runtime,
+            )
+        self._record_simulation(tel, report)
+        self._record_degradation(tel, report, fault_cfg)
+        return report
+
+    def _record_degradation(self, tel, report: MultiChipReport, fault_cfg) -> None:
+        """Fault log + ``robustness.*`` metrics for a degraded run."""
+        n = self.config.n_chips
+        n_dead = len(report.dead_chips)
+        log = faults.get_log()
+        if log is not None:
+            detail = (
+                f"{n_dead}/{n} chiplets dead "
+                f"(policy={fault_cfg.policy}), latency cost "
+                f"{report.latency_cost:.2f}x"
+            )
+            if fault_cfg.link_bandwidth_factor < 1.0:
+                detail += (
+                    f", links at {fault_cfg.link_bandwidth_factor:.0%} bandwidth"
+                )
+            log.record("multichip", detail)
+        if not tel.enabled:
+            return
+        m = tel.metrics
+        m.gauge("robustness.chiplets.dead").set(float(n_dead))
+        m.gauge("robustness.chiplets.survivors").set(float(n - n_dead))
+        if fault_cfg.policy == "remap":
+            m.gauge("robustness.chiplets.remapped_experts").set(float(n_dead))
+        else:
+            m.gauge("robustness.chiplets.dropped_experts").set(float(n_dead))
+        m.gauge("robustness.remap.latency_cost").set(report.latency_cost)
 
     def _record_simulation(self, tel, report: MultiChipReport) -> None:
         """Per-chiplet utilization and interconnect-traffic telemetry."""
@@ -194,20 +340,37 @@ class MultiChipSystem:
         m.gauge("multichip.interconnect.comm_saving").set(comm.saving)
 
     def communication(
-        self, chip_traces: list, training: bool = False, workload_scale: float = 1.0
+        self,
+        chip_traces: list,
+        training: bool = False,
+        workload_scale: float = 1.0,
+        *,
+        n_senders: int = None,
+        n_links: int = None,
+        link: LinkSpec = None,
     ) -> CommunicationReport:
-        """Traffic accounting: MoE mapping vs layer-split baseline."""
+        """Traffic accounting: MoE mapping vs layer-split baseline.
+
+        The keyword-only parameters exist for degraded-board simulation:
+        ``n_senders`` experts contribute partial-pixel streams (fewer
+        than ``n_chips`` when dead experts are dropped), carried over
+        ``n_links`` surviving links of spec ``link``.  Defaults
+        reproduce the healthy board exactly.
+        """
         cfg = self.config
+        senders = cfg.n_chips if n_senders is None else n_senders
+        links = cfg.n_chips if n_links is None else n_links
+        chip_link = cfg.chip_link if link is None else link
         n_rays = chip_traces[0].n_rays * workload_scale
         # MoE: broadcast the camera spec once (rays are generated
         # on-chip), one partial pixel back per ray per chip; in training
         # the fused residual is broadcast back per ray.
         moe = (
-            cfg.n_chips * CAMERA_BROADCAST_BYTES
-            + cfg.n_chips * n_rays * PARTIAL_PIXEL_BYTES
+            senders * CAMERA_BROADCAST_BYTES
+            + senders * n_rays * PARTIAL_PIXEL_BYTES
         )
         if training:
-            moe += cfg.n_chips * n_rays * PARTIAL_PIXEL_BYTES
+            moe += senders * n_rays * PARTIAL_PIXEL_BYTES
         # Layer-split baseline: every sample's feature vector crosses one
         # chip boundary at the Stage II/III split; training returns the
         # feature gradients as well.
@@ -217,9 +380,9 @@ class MultiChipSystem:
             layer_split *= 2.0
         # Each chip has a private link to the I/O module carrying its own
         # broadcast copy and partial-pixel return stream.
-        per_link = moe / cfg.n_chips
-        transfer_s = cfg.chip_link.transfer_s(per_link)
-        energy = cfg.chip_link.transfer_energy_j(moe)
+        per_link = moe / links
+        transfer_s = chip_link.transfer_s(per_link)
+        energy = chip_link.transfer_energy_j(moe)
         return CommunicationReport(
             moe_bytes=moe,
             layer_split_bytes=layer_split,

@@ -37,6 +37,7 @@ from contextlib import contextmanager
 from .hooks import (
     HookDispatcher,
     ON_BATCH,
+    ON_DIVERGENCE,
     ON_ITERATION,
     ON_MODULE_SIMULATED,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "NULL_METRICS",
     "NULL_TRACER",
     "ON_BATCH",
+    "ON_DIVERGENCE",
     "ON_ITERATION",
     "ON_MODULE_SIMULATED",
     "Span",

@@ -15,6 +15,13 @@ Well-known events (emitters in parentheses):
 * ``on_module_simulated(module, cycles, ...)`` — one hardware module's
   cycle simulation finished (:class:`~repro.sim.chip.SingleChipAccelerator`,
   :class:`~repro.sim.multichip.MultiChipSystem`).
+* ``on_divergence(trainer, event)`` — a training step went non-finite
+  and was skipped; ``event`` is a
+  :class:`~repro.robustness.errors.DivergenceEvent`.  If nobody is
+  subscribed the trainer raises instead
+  (:class:`~repro.nerf.trainer.Trainer`); subscribing — e.g. a
+  :class:`~repro.robustness.watchdog.DivergenceWatchdog` — claims
+  responsibility for recovery.
 
 Custom event names are allowed; the dispatcher is just a name -> list
 map.  Callbacks run synchronously in registration order; an exception in
@@ -29,6 +36,7 @@ import threading
 ON_ITERATION = "on_iteration"
 ON_BATCH = "on_batch"
 ON_MODULE_SIMULATED = "on_module_simulated"
+ON_DIVERGENCE = "on_divergence"
 
 
 class HookDispatcher:
@@ -63,18 +71,31 @@ class HookDispatcher:
     def on_module_simulated(self, callback):
         return self.register(ON_MODULE_SIMULATED, callback)
 
-    def emit(self, event: str, **kwargs) -> int:
-        """Invoke every subscriber of ``event``; returns the call count.
+    def on_divergence(self, callback):
+        return self.register(ON_DIVERGENCE, callback)
+
+    def emit(self, name: str, **kwargs) -> int:
+        """Invoke every subscriber of event ``name``; returns the handled count.
+
+        A subscriber may return ``False`` to *decline* the event (e.g. a
+        divergence watchdog receiving another trainer's event); any other
+        return value — including the usual ``None`` — counts as handled.
+        Emitters that need a recovery guarantee check for a zero return
+        (see :meth:`repro.nerf.trainer.Trainer._diverge`).
 
         The subscriber list is snapshotted first, so a callback that
         (un)registers during dispatch affects the *next* emit only.
+        (The parameter is ``name``, not ``event``, so payloads are free
+        to carry an ``event=...`` keyword — ``on_divergence`` does.)
         """
-        listeners = self._listeners.get(event)
+        listeners = self._listeners.get(name)
         if not listeners:
             return 0
+        handled = 0
         for callback in tuple(listeners):
-            callback(**kwargs)
-        return len(listeners)
+            if callback(**kwargs) is not False:
+                handled += 1
+        return handled
 
     def listeners(self, event: str) -> list:
         return list(self._listeners.get(event, []))

@@ -193,3 +193,32 @@ def test_compare_scaling_validation():
 def test_custom_process_defects():
     dirty = ProcessDefects(density_per_mm2=0.05)
     assert die_yield(100.0, dirty) < die_yield(100.0)
+
+
+def test_yield_rejects_negative_area():
+    with pytest.raises(ValueError):
+        die_yield(-1.0)
+    with pytest.raises(ValueError):
+        dies_per_wafer(-1.0)
+    with pytest.raises(ValueError):
+        dies_per_wafer(0.0)
+
+
+def test_yield_stays_in_unit_interval():
+    # Even absurd inputs must produce a probability, never over/underflow.
+    assert 0.0 < die_yield(1e-6) <= 1.0
+    assert 0.0 < die_yield(5000.0) < 1.0
+    filthy = ProcessDefects(density_per_mm2=100.0)
+    assert 0.0 < die_yield(100.0, filthy) < 1e-3
+
+
+def test_oversized_die_yields_zero_per_wafer():
+    # A die larger than the wafer: zero gross dies, not a negative count.
+    assert dies_per_wafer(80000.0) == 0
+
+
+def test_compare_scaling_single_chip_degenerate():
+    cmp = compare_scaling(total_area_mm2=75.4, n_chips=1)
+    assert cmp.per_chip_yield == pytest.approx(cmp.monolithic_yield)
+    assert cmp.multi_chip_cost == pytest.approx(cmp.monolithic_cost)
+    assert cmp.cost_saving < 0  # packaging makes 1-chip "multi" strictly worse

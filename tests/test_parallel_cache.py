@@ -165,3 +165,52 @@ def test_default_cache_root_env(monkeypatch, tmp_path):
     monkeypatch.setenv("FUSION3D_CACHE_DIR", str(tmp_path / "xyz"))
     assert cache_mod.default_cache_root() == str(tmp_path / "xyz")
     assert parallel.ResultCache().root == str(tmp_path / "xyz")
+
+
+def test_corrupted_entry_recovery_under_concurrent_writers(cache):
+    """A reader racing corrupting + repairing writers never sees garbage.
+
+    The cache's contract is "allowed to forget, never to lie": with one
+    thread truncating the entry mid-flight and another atomically
+    rewriting it, every concurrent read must come back as either a miss
+    (None) or a fully valid entry — never a partial/corrupt payload.
+    """
+    import threading
+
+    key = "f" * 64
+    path = cache._result_path(key)
+    cache.put_result(key, PAYLOAD)
+    stop = threading.Event()
+    observed = []
+
+    def corruptor():
+        while not stop.is_set():
+            try:
+                with open(path, "w") as fh:
+                    fh.write('{"result": ')  # truncated mid-write
+            except OSError:
+                pass
+
+    def repairer():
+        while not stop.is_set():
+            cache.put_result(key, PAYLOAD)
+
+    threads = [
+        threading.Thread(target=corruptor),
+        threading.Thread(target=repairer),
+    ]
+    for t in threads:
+        t.start()
+    try:
+        for _ in range(300):
+            observed.append(cache.get_result(key))
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert observed  # sanity
+    for entry in observed:
+        assert entry is None or entry["result"] == PAYLOAD
+    # Once the dust settles a clean write is served again.
+    cache.put_result(key, PAYLOAD)
+    assert cache.get_result(key)["result"] == PAYLOAD

@@ -141,6 +141,33 @@ def test_timeout_reported_not_retried(fake_registry):
     assert report.failures == [outcome]
 
 
+class _SlowButFinishes:
+    @staticmethod
+    def run(quick=True):
+        """Overrun a small budget, but terminate on its own."""
+        time.sleep(0.25)
+        return ExperimentResult(
+            experiment="slow", paper_ref="test", rows=[{"a": 1}]
+        )
+
+
+def test_wall_clock_timeout_without_sigalrm(fake_registry, monkeypatch):
+    """With SIGALRM unavailable, an overrun job must not be reported ok."""
+    from repro.parallel import engine
+
+    registry = dict(runner.REGISTRY)
+    registry["_slow"] = (_SlowButFinishes, "test")
+    monkeypatch.setattr(runner, "REGISTRY", registry)
+    monkeypatch.setattr(engine, "_alarm_available", lambda: False)
+    report = parallel.run_experiments(["_slow"], jobs=1, timeout_s=0.05)
+    outcome = report.outcomes[0]
+    assert outcome.status == "timeout"
+    assert outcome.result is None
+    # A job inside its budget is unaffected by the fallback path.
+    ok = parallel.run_experiments(["_slow"], jobs=1, timeout_s=30.0)
+    assert ok.outcomes[0].status == "ok"
+
+
 def test_crash_retried_once_then_succeeds(fake_registry):
     report = parallel.run_experiments(["_flaky"], jobs=1)
     outcome = report.outcomes[0]
