@@ -42,6 +42,7 @@ from . import (
     moe_scaling,
     scaling_cost,
     scheduler_study,
+    serving_study,
     speedup_breakdown,
     table1,
     table2,
@@ -82,6 +83,7 @@ REGISTRY = {
     "moe_scaling": (moe_scaling, "Fig. 13(a) obs. 2: PSNR vs expert count"),
     "ert_study": (ert_study, "extension: early ray termination"),
     "fault_sweep": (fault_sweep, "robustness: faults & graceful degradation"),
+    "serving_study": (serving_study, "serving: latency-throughput & SLO attainment"),
     "warping_study": (warping_study, "Table III fn. 1: warping vs motion"),
     "dataset_stats": (dataset_stats, "DESIGN.md: substitution statistics"),
 }
@@ -296,6 +298,77 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Drive the rendering service under a load generator.
+
+    ``--smoke`` is the CI preset: a short open-loop Poisson burst over a
+    2-second simulated horizon against the demo registry, printing the
+    SLO attainment report (whose ``completed requests: N`` line the CI
+    job greps).  Without ``--smoke``, ``--rate``/``--duration``/
+    ``--scenes`` pick the operating point, and ``--closed-loop N`` runs a
+    single interactive client for N frames instead.
+    """
+    import numpy as np
+
+    from ..serve import (
+        RenderService,
+        ServiceConfig,
+        build_demo_registry,
+        demo_camera,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    if args.smoke:
+        rate, duration, n_scenes, probe = 300.0, 2.0, 2, 16
+    else:
+        rate, duration = args.rate, args.duration
+        n_scenes, probe = args.scenes, args.probe
+    registry = build_demo_registry(n_scenes=n_scenes)
+    scene_names = [s["name"] for s in registry.scenes()]
+    camera = demo_camera(probe, probe)
+    service = RenderService(registry)
+    if args.closed_loop:
+        report = run_closed_loop(
+            service, scene_names[0], n_frames=args.closed_loop, camera=camera
+        )
+    else:
+        report = run_open_loop(
+            service,
+            scene_names,
+            rate_hz=rate,
+            duration_s=duration,
+            camera=camera,
+            rng=np.random.default_rng(args.seed),
+            hw_scale=args.hw_scale,
+        )
+    if args.json:
+        logger.info(
+            "%s",
+            json.dumps(
+                {"row": report.row(), "stats": report.stats, "slo": report.slo},
+                indent=2,
+                default=str,
+            ),
+        )
+    else:
+        row = report.row()
+        logger.info(
+            "%s: offered %d requests (%.0f Hz) over %.2f simulated s",
+            report.driver,
+            report.n_offered,
+            report.offered_rate_hz,
+            report.duration_s,
+        )
+        logger.info(
+            "achieved %.1f FPS at %.0f%% board utilization\n",
+            row["achieved_fps"],
+            100 * row["utilization"],
+        )
+        logger.info("%s", service.report())
+    return 0 if report.completed > 0 else 1
+
+
 def _cmd_report(args) -> int:
     with telemetry.session() as tel:
         result = run_experiment(args.name, quick=not args.full)
@@ -429,6 +502,49 @@ def main(argv: list = None) -> int:
         metavar="DIR",
         help="cache location (default: $FUSION3D_CACHE_DIR or ~/.cache/fusion3d)",
     )
+    serve_parser = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="drive the rendering service under a load generator and "
+        "print the SLO attainment report",
+    )
+    serve_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: 2-second simulated open-loop burst on the demo registry",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=300.0, metavar="HZ",
+        help="open-loop offered arrival rate (default: 300)",
+    )
+    serve_parser.add_argument(
+        "--duration", type=float, default=2.0, metavar="S",
+        help="simulated arrival horizon in seconds (default: 2.0)",
+    )
+    serve_parser.add_argument(
+        "--scenes", type=int, default=2, metavar="N",
+        help="demo scenes to deploy (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--probe", type=int, default=16, metavar="PX",
+        help="probe frame edge length in pixels (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--hw-scale", type=float, default=400.0, metavar="X",
+        help="bill each probe frame as X frames of hardware work (default: 400)",
+    )
+    serve_parser.add_argument(
+        "--closed-loop", type=int, default=0, metavar="N",
+        help="run one closed-loop client for N frames instead of open loop",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=0, help="arrival-trace RNG seed"
+    )
+    serve_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the load report as JSON instead of text",
+    )
     report_parser = sub.add_parser(
         "report",
         parents=[common],
@@ -459,6 +575,8 @@ def main(argv: list = None) -> int:
         return _cmd_run_all(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_run(args)
 
 

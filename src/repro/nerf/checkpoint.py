@@ -6,6 +6,14 @@ on); this module makes that concrete — a trained
 :class:`~repro.nerf.model.InstantNGPModel` or
 :class:`~repro.nerf.moe.MoENeRF` round-trips through a single archive
 whose size *is* the deployment payload.
+
+A checkpoint can also carry the *deployment state* around the weights:
+the trained occupancy grid (so a cold-started scene renders its first
+frame bit-identically to the training process, without re-warming the
+grid from the density field) and the scene normalizer (so world-space
+cameras can be served against the archive alone).  :func:`load_scene`
+returns all three; :func:`load_model` keeps its historical
+weights-only contract.
 """
 
 from __future__ import annotations
@@ -16,11 +24,19 @@ from pathlib import Path
 
 import numpy as np
 
+from .aabb import SceneNormalizer
 from .hash_encoding import HashEncodingConfig
 from .model import InstantNGPModel, ModelConfig
 from .moe import MoEConfig, MoENeRF
+from .occupancy import OccupancyGrid
 
 _FORMAT_VERSION = 1
+
+#: Array keys reserved for non-parameter state; ``load_model`` must not
+#: feed these to ``load_parameters``.
+_OCCUPANCY_EMA_KEY = "__occupancy_ema__"
+_OCCUPANCY_MASK_KEY = "__occupancy_mask__"
+_STATE_KEYS = ("__meta__", _OCCUPANCY_EMA_KEY, _OCCUPANCY_MASK_KEY)
 
 
 class CheckpointError(ValueError):
@@ -63,10 +79,16 @@ def _model_config_from_dict(data: dict) -> ModelConfig:
     )
 
 
-def save_model(model, path) -> int:
+def save_model(model, path, occupancy: OccupancyGrid = None, normalizer: SceneNormalizer = None) -> int:
     """Write a model checkpoint; returns the payload size in bytes.
 
-    Accepts :class:`InstantNGPModel` or :class:`MoENeRF`.
+    Accepts :class:`InstantNGPModel` or :class:`MoENeRF`.  When
+    ``occupancy`` is given, the grid's EMA statistics *and* its binary
+    mask are stored verbatim (the mask is not always derivable from the
+    EMA — trainers force it full when it empties out), so a load renders
+    the exact frames the saving process would — no re-warmup.
+    ``normalizer`` adds the world-to-unit-cube map, making the archive a
+    self-contained deployable scene for :func:`load_scene`.
     """
     path = Path(path)
     if isinstance(model, MoENeRF):
@@ -85,19 +107,27 @@ def save_model(model, path) -> int:
     else:
         raise TypeError(f"cannot checkpoint a {type(model).__name__}")
     arrays = dict(model.parameters())
+    if occupancy is not None:
+        meta["occupancy"] = {
+            "resolution": occupancy.resolution,
+            "threshold": occupancy.threshold,
+            "ema_decay": occupancy.ema_decay,
+        }
+        arrays[_OCCUPANCY_EMA_KEY] = occupancy.density_ema
+        arrays[_OCCUPANCY_MASK_KEY] = occupancy.mask
+    if normalizer is not None:
+        meta["normalizer"] = {
+            "offset": np.asarray(normalizer.offset, dtype=np.float64).tolist(),
+            "scale": float(normalizer.scale),
+        }
     np.savez_compressed(path, __meta__=json.dumps(meta), **arrays)
     return path.stat().st_size if path.suffix == ".npz" else Path(
         str(path) + ".npz"
     ).stat().st_size
 
 
-def load_model(path):
-    """Reconstruct the checkpointed model (architecture + weights).
-
-    Raises :class:`CheckpointError` (a ``ValueError``) when the archive
-    is truncated or corrupt, carries no metadata, or was written by a
-    newer format version than this code understands.
-    """
+def _read_archive(path) -> tuple:
+    """Load and validate a checkpoint archive: ``(path, meta, arrays)``."""
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = Path(str(path) + ".npz")
@@ -127,9 +157,14 @@ def load_model(path):
         raise CheckpointError(
             f"{path} is truncated or corrupt: {exc}"
         ) from exc
+    return path, meta, arrays
+
+
+def _build_model(path, meta: dict, params: dict):
+    """Instantiate the checkpointed architecture and load its weights."""
     if meta["kind"] == "instant-ngp":
         model = InstantNGPModel(_model_config_from_dict(meta["model"]))
-        model.load_parameters(arrays)
+        model.load_parameters(params)
         return model
     if meta["kind"] == "moe":
         expert_config = _model_config_from_dict(meta["expert_model"])
@@ -139,12 +174,64 @@ def load_model(path):
             expert.load_parameters(
                 {
                     k[len(prefix):]: v
-                    for k, v in arrays.items()
+                    for k, v in params.items()
                     if k.startswith(prefix)
                 }
             )
         return moe
     raise CheckpointError(f"{path}: unknown checkpoint kind {meta['kind']!r}")
+
+
+def load_model(path):
+    """Reconstruct the checkpointed model (architecture + weights).
+
+    Raises :class:`CheckpointError` (a ``ValueError``) when the archive
+    is truncated or corrupt, carries no metadata, or was written by a
+    newer format version than this code understands.
+    """
+    path, meta, arrays = _read_archive(path)
+    params = {k: v for k, v in arrays.items() if k not in _STATE_KEYS}
+    return _build_model(path, meta, params)
+
+
+def load_scene(path) -> tuple:
+    """Load a deployable scene: ``(model, occupancy, normalizer)``.
+
+    ``occupancy`` and ``normalizer`` are ``None`` when the archive was
+    saved without them (a weights-only checkpoint).  When present, the
+    occupancy grid is restored bit-exactly — EMA statistics *and* mask —
+    so the first frame rendered after a cold start matches the frame the
+    saving process would have rendered, without re-warming the grid.
+    """
+    path, meta, arrays = _read_archive(path)
+    params = {k: v for k, v in arrays.items() if k not in _STATE_KEYS}
+    model = _build_model(path, meta, params)
+    occupancy = None
+    if "occupancy" in meta:
+        if _OCCUPANCY_EMA_KEY not in arrays or _OCCUPANCY_MASK_KEY not in arrays:
+            raise CheckpointError(
+                f"{path}: occupancy metadata present but grid arrays missing"
+            )
+        spec = meta["occupancy"]
+        occupancy = OccupancyGrid(
+            resolution=int(spec["resolution"]),
+            threshold=float(spec["threshold"]),
+            ema_decay=float(spec["ema_decay"]),
+        )
+        ema = np.asarray(arrays[_OCCUPANCY_EMA_KEY], dtype=np.float32)
+        mask = np.asarray(arrays[_OCCUPANCY_MASK_KEY], dtype=bool)
+        if ema.shape != occupancy.density_ema.shape or mask.shape != occupancy.mask.shape:
+            raise CheckpointError(f"{path}: occupancy grid shape mismatch")
+        occupancy.density_ema = ema
+        occupancy.mask = mask
+    normalizer = None
+    if "normalizer" in meta:
+        spec = meta["normalizer"]
+        normalizer = SceneNormalizer(
+            offset=np.asarray(spec["offset"], dtype=np.float64),
+            scale=float(spec["scale"]),
+        )
+    return model, occupancy, normalizer
 
 
 def deployment_payload_bytes(model) -> int:

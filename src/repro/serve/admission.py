@@ -1,0 +1,150 @@
+"""Deadline- and backpressure-aware admission control.
+
+Every arriving request passes through :class:`AdmissionController` before
+touching a queue.  The controller rejects work that is already doomed
+(deadline in the past, or infeasible under the current service-time
+estimate) and converts overload into *graceful degradation* before it
+becomes *shedding*: as queue depth climbs, new requests are admitted at
+half the samples-per-ray budget, then additionally at half resolution,
+and only past the hard queue cap are they shed — lowest priority class
+first.  This is the serving-side twin of the robustness layer's
+degrade-before-fail ladder (``repro.robustness.degradation``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Degrade ladder levels applied at admission.
+DEGRADE_NONE = 0
+DEGRADE_SAMPLES = 1  # halve samples-per-ray
+DEGRADE_RESOLUTION = 2  # halve samples-per-ray AND render at half resolution
+
+#: Terminal admission verdicts.
+REJECT_DEADLINE_EXPIRED = "rejected_deadline_expired"
+REJECT_DEADLINE_INFEASIBLE = "rejected_deadline_infeasible"
+REJECT_SHED = "shed_overload"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Queue-depth thresholds of the shed-or-degrade ladder (in rays).
+
+    ``degrade_rays`` starts level-1 degradation, ``heavy_degrade_rays``
+    starts level-2, and ``max_queue_rays`` is the hard cap past which
+    requests are shed; ``shed_spares_priority`` classes at or below that
+    priority value are degraded (never shed) until the queue exceeds
+    ``max_queue_rays`` times ``priority_headroom``.
+    """
+
+    max_queue_rays: int = 1 << 18
+    degrade_rays: int = 1 << 16
+    heavy_degrade_rays: int = 1 << 17
+    min_samples_per_ray: int = 4
+    shed_spares_priority: int = 0
+    priority_headroom: float = 1.5
+
+    def __post_init__(self):
+        if not 0 < self.degrade_rays <= self.heavy_degrade_rays <= self.max_queue_rays:
+            raise ValueError(
+                "need 0 < degrade_rays <= heavy_degrade_rays <= max_queue_rays"
+            )
+        if self.min_samples_per_ray < 1:
+            raise ValueError("min_samples_per_ray must be positive")
+        if self.priority_headroom < 1.0:
+            raise ValueError("priority_headroom must be >= 1.0")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``admitted`` requests carry the (possibly degraded) render budget;
+    rejected ones carry a terminal ``status`` string explaining why.
+    """
+
+    admitted: bool
+    status: str = None
+    degrade_level: int = DEGRADE_NONE
+    samples_per_ray: int = 0
+    resolution_scale: float = 1.0
+
+
+class AdmissionController:
+    """Stateless ladder decisions over live queue depth and EWMA speed."""
+
+    def __init__(self, policy: AdmissionPolicy = None):
+        self.policy = policy or AdmissionPolicy()
+        self.admitted = 0
+        self.degraded = 0
+        self.shed = 0
+        self.rejected_deadline = 0
+
+    def decide(
+        self,
+        request,
+        now: float,
+        queued_rays: int,
+        full_samples_per_ray: int,
+        est_s_per_ray: float = None,
+    ) -> AdmissionDecision:
+        """Admit, degrade, or reject one request at service-clock ``now``.
+
+        ``est_s_per_ray`` is the service's EWMA estimate of delivered
+        seconds per ray (``None`` before the first completion — then the
+        feasibility check is skipped and only already-expired deadlines
+        reject).
+        """
+        policy = self.policy
+        deadline = request.deadline_s
+        if deadline is not None and deadline <= now:
+            self.rejected_deadline += 1
+            return AdmissionDecision(
+                admitted=False, status=REJECT_DEADLINE_EXPIRED
+            )
+        over_cap = queued_rays > policy.max_queue_rays
+        if over_cap:
+            spared = (
+                request.priority <= policy.shed_spares_priority
+                and queued_rays
+                <= policy.max_queue_rays * policy.priority_headroom
+            )
+            if not spared:
+                self.shed += 1
+                return AdmissionDecision(admitted=False, status=REJECT_SHED)
+        if over_cap or queued_rays > policy.heavy_degrade_rays:
+            level = DEGRADE_RESOLUTION
+        elif queued_rays > policy.degrade_rays:
+            level = DEGRADE_SAMPLES
+        else:
+            level = DEGRADE_NONE
+        samples = full_samples_per_ray
+        resolution_scale = 1.0
+        if level >= DEGRADE_SAMPLES:
+            samples = max(samples // 2, policy.min_samples_per_ray)
+        if level >= DEGRADE_RESOLUTION:
+            resolution_scale = 0.5
+        if deadline is not None and est_s_per_ray is not None:
+            # Feasibility at the degraded budget: admitting work that
+            # cannot finish by its deadline only burns board time that a
+            # feasible request behind it needed.
+            est_rays = request.n_rays * resolution_scale**2
+            backlog_rays = queued_rays + est_rays
+            est_finish = now + backlog_rays * est_s_per_ray * (
+                samples / max(full_samples_per_ray, 1)
+            )
+            if est_finish > deadline:
+                self.rejected_deadline += 1
+                return AdmissionDecision(
+                    admitted=False, status=REJECT_DEADLINE_INFEASIBLE
+                )
+        self.admitted += 1
+        if level != DEGRADE_NONE:
+            self.degraded += 1
+        return AdmissionDecision(
+            admitted=True,
+            status=None,
+            degrade_level=level,
+            samples_per_ray=samples,
+            resolution_scale=resolution_scale,
+        )

@@ -1,0 +1,139 @@
+"""Service-level objectives: per-class latency targets and attainment.
+
+Each priority class carries a latency SLO (interactive defaults to the
+paper's real-time budget of one 30 FPS frame time).  The tracker records
+exact request latencies per class — the populations are small enough at
+simulation scale that exact percentiles beat histogram sketches — and
+reports p50/p95/p99, attainment against the target, and terminal-status
+counts.  ``format_slo_report`` renders the table the CI smoke job greps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .batching import PRIORITY_BATCH, PRIORITY_INTERACTIVE, PRIORITY_STANDARD
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """Latency objective of one priority class."""
+
+    name: str
+    latency_s: float
+    #: Fraction of completed requests that must meet ``latency_s``.
+    attainment: float = 0.99
+
+    def __post_init__(self):
+        if self.latency_s <= 0:
+            raise ValueError("latency_s must be positive")
+        if not 0.0 < self.attainment <= 1.0:
+            raise ValueError("attainment must be in (0, 1]")
+
+
+#: Default objectives: interactive = one 30 FPS frame, standard = 100 ms,
+#: batch = best-effort 1 s.
+DEFAULT_TARGETS = {
+    PRIORITY_INTERACTIVE: SLOTarget("interactive", latency_s=1.0 / 30.0),
+    PRIORITY_STANDARD: SLOTarget("standard", latency_s=0.100),
+    PRIORITY_BATCH: SLOTarget("batch", latency_s=1.0, attainment=0.9),
+}
+
+
+def percentile(values, q: float) -> float:
+    """Exact percentile of a latency population (``nan`` when empty)."""
+    if len(values) == 0:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+class SLOTracker:
+    """Exact per-class latency ledger and terminal-status counter."""
+
+    def __init__(self, targets: dict = None):
+        self.targets = dict(DEFAULT_TARGETS if targets is None else targets)
+        self._latencies = {}
+        self._statuses = {}
+
+    def record(self, priority: int, status: str, latency_s: float = None) -> None:
+        """Record one terminal request outcome.
+
+        ``latency_s`` (arrival to completion, service clock) is required
+        for ``"completed"`` requests and ignored otherwise.
+        """
+        self._statuses[status] = self._statuses.get(status, 0) + 1
+        if status == "completed":
+            if latency_s is None:
+                raise ValueError("completed requests must report a latency")
+            self._latencies.setdefault(priority, []).append(latency_s)
+
+    @property
+    def completed(self) -> int:
+        """Completed-request count across all classes."""
+        return self._statuses.get("completed", 0)
+
+    def status_counts(self) -> dict:
+        """Terminal-status histogram (completed, shed, rejected, failed...)."""
+        return dict(self._statuses)
+
+    def class_stats(self, priority: int) -> dict:
+        """Latency statistics and attainment for one priority class."""
+        latencies = self._latencies.get(priority, [])
+        target = self.targets.get(priority)
+        met = (
+            sum(1 for lat in latencies if lat <= target.latency_s)
+            if target and latencies
+            else 0
+        )
+        return {
+            "priority": priority,
+            "name": target.name if target else f"class{priority}",
+            "completed": len(latencies),
+            "p50_s": percentile(latencies, 50),
+            "p95_s": percentile(latencies, 95),
+            "p99_s": percentile(latencies, 99),
+            "target_s": target.latency_s if target else float("nan"),
+            "attained": met / len(latencies) if latencies else float("nan"),
+            "required": target.attainment if target else float("nan"),
+            "slo_met": (
+                bool(latencies) and met / len(latencies) >= target.attainment
+                if target
+                else False
+            ),
+        }
+
+    def summary(self) -> dict:
+        """Whole-service summary: per-class stats + status counts."""
+        classes = sorted(set(self._latencies) | set(self.targets))
+        return {
+            "completed": self.completed,
+            "statuses": self.status_counts(),
+            "classes": [self.class_stats(p) for p in classes],
+        }
+
+
+def format_slo_report(tracker: SLOTracker) -> str:
+    """Render the SLO attainment table (greppable by the CI smoke job)."""
+    summary = tracker.summary()
+    lines = ["SLO attainment report", "=" * 72]
+    lines.append(f"completed requests: {summary['completed']}")
+    for status, count in sorted(summary["statuses"].items()):
+        if status != "completed":
+            lines.append(f"{status}: {count}")
+    lines.append("-" * 72)
+    header = (
+        f"{'class':<12} {'done':>6} {'p50 ms':>9} {'p95 ms':>9} "
+        f"{'p99 ms':>9} {'target':>9} {'attain':>7} {'slo':>5}"
+    )
+    lines.append(header)
+    for stats in summary["classes"]:
+        lines.append(
+            f"{stats['name']:<12} {stats['completed']:>6} "
+            f"{stats['p50_s'] * 1e3:>9.2f} {stats['p95_s'] * 1e3:>9.2f} "
+            f"{stats['p99_s'] * 1e3:>9.2f} {stats['target_s'] * 1e3:>9.2f} "
+            f"{stats['attained']:>7.3f} "
+            f"{'met' if stats['slo_met'] else 'MISS':>5}"
+        )
+    return "\n".join(lines)

@@ -1,8 +1,8 @@
 """In-tree enforcement of the docstring-coverage lint (tools/).
 
-Public functions, classes, and methods of ``repro.parallel`` and
-``repro.experiments`` must carry docstrings; the same check gates CI via
-``python tools/lint_docstrings.py``.
+Public functions, classes, and methods of ``repro.parallel``,
+``repro.experiments``, and ``repro.serve`` must carry docstrings; the
+same check gates CI via ``python tools/lint_docstrings.py``.
 """
 
 import importlib.util
@@ -25,7 +25,7 @@ def lint():
 
 
 def test_parallel_and_experiments_fully_documented(lint):
-    offenders = lint.lint_packages(["repro.parallel", "repro.experiments"])
+    offenders = lint.lint_packages(lint.DEFAULT_PACKAGES)
     formatted = "\n".join(f"{p}:{l}: {n}" for p, l, n in offenders)
     assert not offenders, f"undocumented public API:\n{formatted}"
 
@@ -51,7 +51,7 @@ def test_lint_detects_missing_docstrings(lint):
 
 
 def test_lint_cli_exit_codes(lint, capsys):
-    assert lint.main(["repro.parallel", "repro.experiments"]) == 0
+    assert lint.main(["repro.parallel", "repro.experiments", "repro.serve"]) == 0
     assert "OK" in capsys.readouterr().out
 
 

@@ -5,11 +5,16 @@ import pytest
 
 from repro.baselines import METAVRAIN, ImageWarpingModel, WarpingModelConfig
 from repro.core.metrics import fps_from_throughput, ssim
+from repro.nerf.aabb import SceneNormalizer
+from repro.nerf.camera import Camera, sphere_poses
 from repro.nerf.checkpoint import (
     deployment_payload_bytes,
     load_model,
+    load_scene,
     save_model,
 )
+from repro.nerf.occupancy import OccupancyGrid
+from repro.nerf.renderer import render_image
 from repro.nerf.early_termination import (
     live_sample_mask,
     per_ray_live_counts,
@@ -248,3 +253,74 @@ def test_warping_config_fov_effect():
     narrow = ImageWarpingModel(2.0, WarpingModelConfig(fov_deg=45.0))
     wide = ImageWarpingModel(2.0, WarpingModelConfig(fov_deg=110.0))
     assert narrow.overlap_fraction(60.0) < wide.overlap_fraction(60.0)
+
+
+# -- deployable-scene checkpoints (occupancy + normalizer round-trip) -------------
+
+def _trained_like_occupancy(resolution=12, seed=11):
+    """An occupancy grid with non-trivial EMA *and* a mask that is not
+    derivable from it (trainers force the mask full when it empties)."""
+    rng = np.random.default_rng(seed)
+    occ = OccupancyGrid(resolution=resolution, threshold=0.3)
+    occ.density_ema = rng.random(occ.density_ema.shape).astype(np.float32)
+    occ.mask = occ.density_ema > occ.threshold
+    occ.mask[0, 0, :] = True  # decoupled from the EMA on purpose
+    return occ
+
+
+def test_load_scene_round_trips_occupancy_bit_exactly(small_model, tmp_path):
+    occ = _trained_like_occupancy()
+    norm = SceneNormalizer(offset=np.array([-1.2, -1.2, -1.2]), scale=1 / 2.4)
+    path = tmp_path / "scene.npz"
+    save_model(small_model, path, occupancy=occ, normalizer=norm)
+    _, restored_occ, restored_norm = load_scene(path)
+    assert restored_occ.resolution == occ.resolution
+    assert restored_occ.threshold == occ.threshold
+    assert restored_occ.ema_decay == occ.ema_decay
+    assert np.array_equal(restored_occ.density_ema, occ.density_ema)
+    assert np.array_equal(restored_occ.mask, occ.mask)
+    assert np.array_equal(restored_norm.offset, norm.offset)
+    assert restored_norm.scale == norm.scale
+
+
+def test_first_frame_after_save_load_bit_identical(small_model, tmp_path):
+    """The registry cold-start contract: no re-warmup, no pixel drift."""
+    occ = _trained_like_occupancy()
+    norm = SceneNormalizer(offset=np.array([-1.5, -1.5, -1.5]), scale=1 / 3.0)
+    camera = Camera(
+        width=8, height=8, focal=9.0, c2w=sphere_poses(1, radius=2.5)[0]
+    )
+    marcher = RayMarcher(SamplerConfig(max_samples=24))
+    before = render_image(
+        small_model, camera, norm, marcher, occupancy=occ, background=1.0
+    )
+    path = tmp_path / "scene.npz"
+    save_model(small_model, path, occupancy=occ, normalizer=norm)
+    model, occ2, norm2 = load_scene(path)
+    after = render_image(
+        model, camera, norm2, marcher, occupancy=occ2, background=1.0
+    )
+    assert np.array_equal(before, after)
+
+
+def test_load_scene_weights_only_checkpoint(small_model, tmp_path):
+    path = tmp_path / "weights.npz"
+    save_model(small_model, path)
+    model, occ, norm = load_scene(path)
+    assert occ is None and norm is None
+    for key, value in small_model.parameters().items():
+        assert np.array_equal(model.parameters()[key], value)
+
+
+def test_load_model_ignores_scene_state(small_model, tmp_path):
+    """The historical weights-only loader must skip the state arrays."""
+    path = tmp_path / "scene.npz"
+    save_model(
+        small_model,
+        path,
+        occupancy=_trained_like_occupancy(),
+        normalizer=SceneNormalizer(offset=np.zeros(3), scale=1.0),
+    )
+    restored = load_model(path)
+    for key, value in small_model.parameters().items():
+        assert np.array_equal(restored.parameters()[key], value)

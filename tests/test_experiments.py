@@ -21,7 +21,8 @@ FAST_EXPERIMENTS = (
 def test_registry_complete():
     assert set(runner.REGISTRY) >= set(FAST_EXPERIMENTS)
     assert {"table2", "fig13a", "tensorf_adaptation"} <= set(runner.REGISTRY)
-    assert len(runner.REGISTRY) == 25
+    assert "serving_study" in runner.REGISTRY
+    assert len(runner.REGISTRY) == 26
 
 
 def test_unknown_experiment_raises():

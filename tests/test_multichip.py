@@ -117,3 +117,92 @@ def test_two_chip_system_scales_down():
     report = two.simulate(traces)
     assert report.power_w < 4.0
     assert two.die_area_mm2() < 20.0
+
+
+# -- simulate_batch: serving fast path with a cached routing table ---------------
+
+
+def _report_fields(report):
+    return (
+        report.runtime_s,
+        report.power_w,
+        report.n_rays,
+        report.degraded,
+        report.dead_chips,
+        report.healthy_runtime_s,
+        tuple(r.runtime_s for r in report.chip_reports),
+        report.communication.moe_bytes,
+        report.communication.transfer_s,
+    )
+
+
+def test_simulate_batch_matches_slow_path_healthy(large_scene_traces):
+    system = MultiChipSystem(MultiChipConfig())
+    slow = system.simulate(large_scene_traces, workload_scale=3.5)
+    fast = system.simulate_batch("lego", large_scene_traces, workload_scale=3.5)
+    assert _report_fields(fast) == _report_fields(slow)
+
+
+def test_simulate_batch_matches_slow_path_degraded(large_scene_traces):
+    from repro.robustness import faults
+    from repro.robustness.faults import ChipletFaultConfig, FaultPlan
+
+    for policy in ("remap", "drop"):
+        system = MultiChipSystem(MultiChipConfig())
+        plan = FaultPlan(
+            chiplets=ChipletFaultConfig(dead_chips=(1,), policy=policy)
+        )
+        faults.activate(plan)
+        try:
+            slow = system.simulate(large_scene_traces, workload_scale=2.0)
+            fast = system.simulate_batch(
+                "lego", large_scene_traces, workload_scale=2.0
+            )
+        finally:
+            faults.deactivate()
+        assert _report_fields(fast) == _report_fields(slow), policy
+        assert fast.expert_assignment == slow.expert_assignment
+
+
+def test_simulate_batch_plans_routing_once_per_scene(
+    large_scene_traces, monkeypatch
+):
+    system = MultiChipSystem(MultiChipConfig())
+    calls = []
+    original = MultiChipSystem._plan_routing
+
+    def counting(self, chip_traces, fault_cfg):
+        calls.append(fault_cfg)
+        return original(self, chip_traces, fault_cfg)
+
+    monkeypatch.setattr(MultiChipSystem, "_plan_routing", counting)
+    for _ in range(3):
+        system.simulate_batch("lego", large_scene_traces)
+    assert len(calls) == 1
+    system.simulate_batch("ship", large_scene_traces)
+    assert len(calls) == 2
+    system.clear_routing_cache()
+    system.simulate_batch("lego", large_scene_traces)
+    assert len(calls) == 3
+
+
+def test_simulate_batch_replans_on_board_state_change(large_scene_traces):
+    from repro.robustness import faults
+    from repro.robustness.faults import ChipletFaultConfig, FaultPlan
+
+    system = MultiChipSystem(MultiChipConfig())
+    healthy = system.simulate_batch("lego", large_scene_traces)
+    assert not healthy.degraded
+    faults.activate(
+        FaultPlan(chiplets=ChipletFaultConfig(dead_chips=(0,), policy="remap"))
+    )
+    try:
+        degraded = system.simulate_batch("lego", large_scene_traces)
+    finally:
+        faults.deactivate()
+    # Same scene, different fault fingerprint: both entries live side by
+    # side and neither poisons the other.
+    assert degraded.degraded and degraded.dead_chips == (0,)
+    again = system.simulate_batch("lego", large_scene_traces)
+    assert not again.degraded
+    assert _report_fields(again) == _report_fields(healthy)

@@ -1,0 +1,149 @@
+"""Scene registry: refcounts, LRU eviction, hot-swap, checkpoint cold-start."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.aabb import SceneNormalizer
+from repro.nerf.checkpoint import save_model
+from repro.nerf.occupancy import OccupancyGrid
+from repro.serve import (
+    MemoryBudgetError,
+    SceneRegistry,
+    SceneRegistryError,
+    UnknownSceneError,
+)
+from repro.serve.loadgen import demo_model
+
+
+def _occupancy(seed=0, resolution=8):
+    rng = np.random.default_rng(seed)
+    occ = OccupancyGrid(resolution=resolution, threshold=0.3)
+    occ.density_ema = rng.random(occ.density_ema.shape).astype(np.float32)
+    occ.mask = occ.density_ema > occ.threshold
+    return occ
+
+
+def _normalizer():
+    return SceneNormalizer(offset=np.array([-1.0, -1.0, -1.0]), scale=0.5)
+
+
+def _deploy(registry, name, seed=0):
+    return registry.deploy(
+        name,
+        model=demo_model(seed=seed),
+        occupancy=_occupancy(seed=seed),
+        normalizer=_normalizer(),
+    )
+
+
+def test_deploy_acquire_release_refcounts():
+    registry = SceneRegistry()
+    summary = _deploy(registry, "lego")
+    assert summary["generation"] == 1 and summary["warmed"]
+    handle = registry.acquire("lego")
+    assert registry._records["lego"].refcount == 1
+    assert handle.valid and handle.name == "lego"
+    handle.release()
+    handle.release()  # idempotent
+    assert registry._records["lego"].refcount == 0
+
+
+def test_acquire_unknown_scene_raises():
+    registry = SceneRegistry()
+    with pytest.raises(UnknownSceneError):
+        registry.acquire("nope")
+    with pytest.raises(UnknownSceneError):
+        registry.undeploy("nope")
+
+
+def test_deploy_requires_model_and_normalizer():
+    registry = SceneRegistry()
+    with pytest.raises(SceneRegistryError):
+        registry.deploy("x")
+    with pytest.raises(SceneRegistryError):
+        registry.deploy("x", model=demo_model(), occupancy=_occupancy())
+
+
+def test_lru_eviction_under_memory_budget():
+    registry = SceneRegistry()
+    _deploy(registry, "a", seed=0)
+    per_scene = registry.memory_bytes
+    registry.memory_budget_bytes = int(per_scene * 2.5)
+    _deploy(registry, "b", seed=1)
+    # Touch "a" so "b" becomes the LRU victim.
+    registry.acquire("a").release()
+    _deploy(registry, "c", seed=2)
+    assert registry.evictions == 1
+    assert "b" not in registry and "a" in registry and "c" in registry
+
+
+def test_eviction_never_removes_pinned_scenes():
+    registry = SceneRegistry()
+    _deploy(registry, "a", seed=0)
+    per_scene = registry.memory_bytes
+    registry.memory_budget_bytes = int(per_scene * 1.5)
+    handle = registry.acquire("a")
+    with pytest.raises(MemoryBudgetError):
+        _deploy(registry, "b", seed=1)
+    handle.release()
+
+
+def test_hot_swap_keeps_old_generation_until_released():
+    registry = SceneRegistry()
+    _deploy(registry, "lego", seed=0)
+    old = registry.acquire("lego")
+    single = registry.memory_bytes
+    _deploy(registry, "lego", seed=1)  # re-deploy: new generation
+    assert registry.hot_swaps == 1
+    new = registry.acquire("lego")
+    assert old.generation == 1 and new.generation == 2
+    assert old.valid  # non-forced swap: in-flight work keeps rendering
+    # Both generations are pinned in memory until the old handle drains.
+    assert registry.memory_bytes > single
+    old.release()
+    assert registry.memory_bytes <= 2 * single - single // 2
+    new.release()
+
+
+def test_force_undeploy_invalidates_live_handles():
+    registry = SceneRegistry()
+    _deploy(registry, "lego")
+    handle = registry.acquire("lego")
+    registry.undeploy("lego", force=True)
+    assert not handle.valid
+    assert "lego" not in registry
+    handle.release()
+
+
+def test_checkpoint_deploy_cold_starts_warmed(tmp_path):
+    model = demo_model(seed=3)
+    occ = _occupancy(seed=3)
+    path = tmp_path / "scene.npz"
+    save_model(model, path, occupancy=occ, normalizer=_normalizer())
+    registry = SceneRegistry()
+    summary = registry.deploy("ckpt", checkpoint=path)
+    assert summary["warmed"]
+    handle = registry.acquire("ckpt")
+    assert np.array_equal(handle.occupancy.mask, occ.mask)
+    assert np.array_equal(handle.occupancy.density_ema, occ.density_ema)
+    handle.release()
+
+
+def test_deploy_without_occupancy_falls_back_unwarmed():
+    registry = SceneRegistry()
+    summary = registry.deploy(
+        "bare", model=demo_model(), normalizer=_normalizer()
+    )
+    assert not summary["warmed"]
+    handle = registry.acquire("bare")
+    assert handle.occupancy.mask.all()  # permissive keep-everything grid
+    handle.release()
+
+
+def test_representative_trace_built_at_deploy():
+    registry = SceneRegistry()
+    _deploy(registry, "lego")
+    handle = registry.acquire("lego")
+    assert handle.trace.n_rays > 0
+    assert handle.trace.n_samples > 0
+    handle.release()
