@@ -369,6 +369,33 @@ def _cmd_serve(args) -> int:
     return 0 if report.completed > 0 else 1
 
 
+def _cmd_bench(args) -> int:
+    """Run the perf benches; optionally gate against the baseline."""
+    from .. import perf
+
+    payload = perf.run_benches(smoke=args.smoke, kernels_only=args.smoke)
+    logger.info("%s", perf.format_report(payload))
+    if args.out:
+        perf.write_payload(payload, args.out)
+        logger.info("wrote bench payload to %s", args.out)
+    if not args.check:
+        return 0
+    baseline_path = args.baseline or perf.DEFAULT_BASELINE
+    try:
+        baseline = perf.load_baseline(baseline_path)
+    except (OSError, ValueError) as exc:
+        logger.error("cannot load baseline %s: %s", baseline_path, exc)
+        logger.info("bench: FAIL")
+        return 1
+    tolerance = (
+        perf.DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    )
+    passed, lines = perf.compare_to_baseline(payload, baseline, tolerance)
+    for line in lines:
+        logger.info("%s", line)
+    return 0 if passed else 1
+
+
 def _cmd_report(args) -> int:
     with telemetry.session() as tel:
         result = run_experiment(args.name, quick=not args.full)
@@ -545,6 +572,42 @@ def main(argv: list = None) -> int:
         action="store_true",
         help="emit the load report as JSON instead of text",
     )
+    bench_parser = sub.add_parser(
+        "bench",
+        parents=[common],
+        help="run the perf benches (kernel + end-to-end) and optionally "
+        "gate against the committed BENCH_nerf.json baseline",
+    )
+    bench_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: shrunken workloads, kernel benches only",
+    )
+    bench_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the bench payload as JSON to FILE (e.g. BENCH_nerf.json)",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare speedups against the baseline and exit non-zero on "
+        "a regression (greppable PERF OK / PERF REGRESSION lines)",
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline payload for --check (default: BENCH_nerf.json)",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed relative speedup drop before failing (default: 0.2)",
+    )
     report_parser = sub.add_parser(
         "report",
         parents=[common],
@@ -577,6 +640,8 @@ def main(argv: list = None) -> int:
         return _cmd_cache(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_run(args)
 
 

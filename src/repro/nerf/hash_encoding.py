@@ -96,7 +96,36 @@ def hash_vertices(coords: np.ndarray, table_size: int) -> np.ndarray:
         raise ValueError("coords must have a trailing dimension of 3")
     c = coords.astype(np.uint64)
     h = (c[..., 0] * PRIMES[0]) ^ (c[..., 1] * PRIMES[1]) ^ (c[..., 2] * PRIMES[2])
+    if table_size & (table_size - 1) == 0:
+        # Power-of-two table: mask instead of 64-bit division (identical
+        # result for unsigned operands, several times faster).
+        return (h & np.uint64(table_size - 1)).astype(np.int64)
     return (h % np.uint64(table_size)).astype(np.int64)
+
+
+class _LazyCorners:
+    """List-like view deferring corner materialization.
+
+    The fused forward no longer needs the ``(L, n, 8, 3)`` integer corner
+    array (the hash is computed from per-axis terms), but the
+    :class:`EncodingTrace` contract exposes ``corners[level]`` for the
+    hash-tiling simulator and tests.  This sequence rebuilds a level's
+    corners from the cached ``(L, n, 3)`` base coordinates only when
+    asked, keeping the training hot path free of the allocation.
+    """
+
+    def __init__(self, base: np.ndarray):
+        self._base = base
+
+    def __len__(self) -> int:
+        return self._base.shape[0]
+
+    def __getitem__(self, level):
+        return self._base[level][:, None, :] + CORNER_OFFSETS[None, :, :]
+
+    def __iter__(self):
+        for level in range(len(self)):
+            yield self[level]
 
 
 @dataclass
@@ -106,12 +135,25 @@ class EncodingTrace:
     ``indices[l]`` is ``(n, 8)`` table indices; ``weights[l]`` the matching
     trilinear weights; ``corners[l]`` the integer vertex coordinates (the
     hash-tiling simulation derives bank ids from these).
+
+    When produced by the fused forward, the per-level entries are views
+    into level-stacked arrays also carried here (``indices_lnk`` /
+    ``weights_lnk``, shaped ``(L, n, 8)``) so backward can scatter all
+    levels in one pass without re-stacking.
     """
 
     indices: list
     weights: list
     corners: list
     n_points: int
+    #: Optional ``(L, n, 8)`` stacked table indices (fused-forward cache).
+    indices_lnk: np.ndarray = None
+    #: Optional ``(L, n, 8)`` stacked trilinear weights.
+    weights_lnk: np.ndarray = None
+    #: Optional ``(L, n, 8)`` level-offset indices into the flattened
+    #: ``(L*T, F)`` table view, shared by the forward gather and the
+    #: backward scatter.
+    flat_indices: np.ndarray = None
 
 
 class HashEncoding:
@@ -126,6 +168,11 @@ class HashEncoding:
             1e-4,
             size=(config.n_levels, config.table_size, config.n_features),
         ).astype(np.float64)
+        #: Flat offset of each level's slab in the level-stacked table
+        #: view; the fused kernels gather/scatter through ``offset + idx``.
+        self._level_offsets = (
+            np.arange(config.n_levels, dtype=np.int64) * config.table_size
+        )
 
     def level_lookup(self, points: np.ndarray, level: int) -> tuple:
         """Corner coordinates, table indices and weights for one level.
@@ -138,7 +185,9 @@ class HashEncoding:
         scaled = points * resolution
         base = np.floor(scaled).astype(np.int64)
         base = np.clip(base, 0, resolution - 1)
-        frac = scaled - base
+        # Subtract in the points dtype: an int64 operand would silently
+        # upcast float32 sample buffers to float64.
+        frac = scaled - base.astype(points.dtype)
         corners = base[:, None, :] + CORNER_OFFSETS[None, :, :]
         indices = hash_vertices(corners, self.config.table_size)
         # Trilinear weights: product over axes of f or (1 - f).
@@ -147,29 +196,100 @@ class HashEncoding:
         weights = terms.prod(axis=-1)
         return corners, indices, weights
 
+    def _fused_lookup(self, points: np.ndarray) -> tuple:
+        """Fused Stage II address path over all levels at once.
+
+        Returns ``(base, indices, weights)`` with shapes ``(L, n, 3)``,
+        ``(L, n, 8)`` and ``(L, n, 8)``; every per-level slice is
+        bit-identical to :meth:`level_lookup` at that level.  Two fusions
+        do the work of the retired per-level loop:
+
+        * the spatial hash is decomposed per axis — ``x*P0`` and
+          ``(x+1)*P0`` (and likewise for y, z) are computed once per
+          point, and the eight corner hashes are XOR combinations of
+          those six terms, so the hot multiply runs on ``(L, n)`` instead
+          of ``(L, n, 8)``;
+        * the trilinear corner weights come from per-axis ``{1-f, f}``
+          tables indexed by the corner bit pattern — two multiplies per
+          corner with association order ``(x*y)*z`` matching the
+          reference ``prod`` exactly.
+
+        Weight precision follows the ``points`` dtype (float32 sample
+        buffers keep float32 weights, matching the fp16 interpolation
+        hardware; nothing silently upcasts to float64).
+        """
+        points = np.atleast_2d(points)
+        resolutions = self.config.level_resolutions  # (L,) int64
+        scaled = points[None, :, :] * resolutions[:, None, None].astype(points.dtype)
+        base = np.floor(scaled).astype(np.int64)
+        np.clip(base, 0, resolutions[:, None, None] - 1, out=base)
+        frac = scaled - base.astype(points.dtype)
+        ox, oy, oz = CORNER_OFFSETS[:, 0], CORNER_OFFSETS[:, 1], CORNER_OFFSETS[:, 2]
+        base_u = base.astype(np.uint64)
+        lo = base_u * PRIMES  # (L, n, 3): x*P0, y*P1, z*P2
+        hi = (base_u + np.uint64(1)) * PRIMES
+        hashes = (
+            np.stack([lo[..., 0], hi[..., 0]], axis=-1)[..., ox]
+            ^ np.stack([lo[..., 1], hi[..., 1]], axis=-1)[..., oy]
+            ^ np.stack([lo[..., 2], hi[..., 2]], axis=-1)[..., oz]
+        )
+        table_size = self.config.table_size
+        if table_size & (table_size - 1) == 0:
+            # Power-of-two tables (always, by construction): the modulo
+            # reduces to a mask, sparing a 64-bit division per vertex.
+            indices = (hashes & np.uint64(table_size - 1)).astype(np.int64)
+        else:
+            indices = (hashes % np.uint64(table_size)).astype(np.int64)
+        axis_terms = np.stack([1.0 - frac, frac], axis=-1)  # (L, n, 3, 2)
+        weights = (
+            axis_terms[:, :, 0, ox] * axis_terms[:, :, 1, oy]
+        ) * axis_terms[:, :, 2, oz]
+        return base, indices, weights
+
+    def multilevel_lookup(self, points: np.ndarray) -> tuple:
+        """Corner coordinates, table indices and weights for *all* levels.
+
+        Batched equivalent of calling :meth:`level_lookup` per level:
+        returns ``(corners, indices, weights)`` with shapes
+        ``(L, n, 8, 3)``, ``(L, n, 8)`` and ``(L, n, 8)``, every slice
+        bit-identical to the single-level call.
+        """
+        base, indices, weights = self._fused_lookup(points)
+        corners = base[:, :, None, :] + CORNER_OFFSETS[None, None, :, :]
+        return corners, indices, weights
+
     def forward(self, points: np.ndarray) -> tuple:
         """Encode points; returns ``(features, trace)``.
 
         ``features`` is ``(n, n_levels * n_features)`` with level-major
         layout; ``trace`` feeds :meth:`backward` and the hash-tiling
-        simulator.
+        simulator.  All levels are gathered in one fused kernel (see
+        :meth:`multilevel_lookup`); the result is bit-identical to the
+        per-level reference in :mod:`repro.perf.reference`.
         """
         points = np.atleast_2d(points)
         n = points.shape[0]
         cfg = self.config
-        features = np.empty((n, cfg.output_dim))
-        all_indices, all_weights, all_corners = [], [], []
-        for level in range(cfg.n_levels):
-            corners, indices, weights = self.level_lookup(points, level)
-            gathered = self.tables[level][indices]  # (n, 8, F)
-            features[:, level * cfg.n_features : (level + 1) * cfg.n_features] = (
-                weights[:, :, None] * gathered
-            ).sum(axis=1)
-            all_indices.append(indices)
-            all_weights.append(weights)
-            all_corners.append(corners)
+        base, indices, weights = self._fused_lookup(points)
+        flat_tables = self.tables.reshape(-1, cfg.n_features)  # (L*T, F)
+        flat_indices = indices + self._level_offsets[:, None, None]
+        # einsum fuses the corner-weighted reduction without the
+        # (L, n, 8, F) product temporary; its per-corner accumulation
+        # order matches ``(w[..., None] * g).sum(axis=2)`` bit-for-bit.
+        level_features = np.einsum(
+            "lnc,lncf->lnf", weights, flat_tables[flat_indices]
+        )
+        features = np.ascontiguousarray(level_features.transpose(1, 0, 2)).reshape(
+            n, cfg.output_dim
+        )
         trace = EncodingTrace(
-            indices=all_indices, weights=all_weights, corners=all_corners, n_points=n
+            indices=list(indices),
+            weights=list(weights),
+            corners=_LazyCorners(base),
+            n_points=n,
+            indices_lnk=indices,
+            weights_lnk=weights,
+            flat_indices=flat_indices,
         )
         return features, trace
 
@@ -179,23 +299,37 @@ class HashEncoding:
         ``grad_features`` is ``(n, n_levels * n_features)``; returns an
         array shaped like :attr:`tables`.  This is the scatter-accumulate
         ("inverse adder tree") workload the reconfigurable interpolation
-        array executes in training mode.
+        array executes in training mode.  The scatter runs as one flat
+        ``np.bincount`` per feature channel over level-offset indices —
+        bit-identical to the per-level ``np.add.at`` reference (bincount
+        accumulates in the same input order) but without its
+        element-at-a-time buffered-ufunc cost.
         """
         grad_features = np.atleast_2d(grad_features)
         if grad_features.shape != (trace.n_points, self.config.output_dim):
             raise ValueError("grad_features shape mismatch with trace")
         cfg = self.config
-        grad_tables = np.zeros_like(self.tables)
-        for level in range(cfg.n_levels):
-            g = grad_features[:, level * cfg.n_features : (level + 1) * cfg.n_features]
-            contrib = trace.weights[level][:, :, None] * g[:, None, :]  # (n, 8, F)
-            flat_idx = trace.indices[level].reshape(-1)
-            np.add.at(
-                grad_tables[level],
-                flat_idx,
-                contrib.reshape(-1, cfg.n_features),
+        n_levels, n_features = cfg.n_levels, cfg.n_features
+        weights = trace.weights_lnk
+        flat_indices = trace.flat_indices
+        if weights is None or flat_indices is None:
+            # Hand-built traces (tests, external tooling) carry only the
+            # per-level lists; stack them once.
+            weights = np.stack([np.asarray(w) for w in trace.weights])
+            indices = np.stack([np.asarray(i) for i in trace.indices])
+            flat_indices = indices + self._level_offsets[:, None, None]
+        # (n, L*F) level-major -> (L, n, F)
+        g = grad_features.reshape(trace.n_points, n_levels, n_features)
+        g = g.transpose(1, 0, 2)
+        contrib = (weights[:, :, :, None] * g[:, :, None, :]).reshape(-1, n_features)
+        flat_idx = flat_indices.reshape(-1)
+        n_bins = n_levels * cfg.table_size
+        grad_flat = np.empty((n_bins, n_features), dtype=np.float64)
+        for feature in range(n_features):
+            grad_flat[:, feature] = np.bincount(
+                flat_idx, weights=contrib[:, feature], minlength=n_bins
             )
-        return grad_tables
+        return grad_flat.reshape(self.tables.shape)
 
     def parameters(self) -> dict:
         return {"hash_tables": self.tables}

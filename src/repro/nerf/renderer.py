@@ -21,28 +21,45 @@ def render_rays(
     marcher: RayMarcher,
     occupancy: OccupancyGrid = None,
     background: float = 1.0,
+    ert_threshold: float = None,
 ) -> tuple:
     """Render a ray batch already expressed in unit-cube space.
 
     Returns ``(colors, batch, result)`` so callers can reuse the sample
     batch (e.g. to extract workload traces for the simulator).
+
+    ``ert_threshold`` enables early ray termination: samples behind the
+    point where a ray's transmittance drops below the threshold are never
+    evaluated (see :func:`~repro.nerf.early_termination.render_batch_ert`).
+    ERT is an inference-only approximation whose color error is bounded
+    by the threshold; ``result`` is ``None`` on that path because the
+    skipped samples have no per-sample render state.  The default
+    (``None``) keeps the exact, bit-reproducible full evaluation.
     """
     batch = marcher.sample(origins, directions, occupancy=occupancy)
     if len(batch) == 0:
         n = np.atleast_2d(origins).shape[0]
         colors = np.full((n, 3), background, dtype=np.float64)
         return colors, batch, None
-    sigma, rgb, _ = model.forward(batch.positions, batch.directions)
-    result = composite(
-        sigma,
-        rgb,
-        batch.deltas,
-        batch.ts,
-        batch.ray_idx,
-        batch.n_rays,
-        background=background,
-    )
-    colors = result.colors
+    if ert_threshold is not None:
+        from .early_termination import render_batch_ert
+
+        colors, _ = render_batch_ert(
+            model, batch, background=background, threshold=ert_threshold
+        )
+        result = None
+    else:
+        sigma, rgb, _ = model.forward(batch.positions, batch.directions)
+        result = composite(
+            sigma,
+            rgb,
+            batch.deltas,
+            batch.ts,
+            batch.ray_idx,
+            batch.n_rays,
+            background=background,
+        )
+        colors = result.colors
     if faults.get_active() is not None:
         # Clamp-and-flag: a corrupted sample (e.g. an injected SRAM bit
         # flip driving sigma to inf) degrades its own pixel to background
@@ -73,6 +90,7 @@ def render_image(
     background: float = 1.0,
     chunk: int = 8192,
     jobs: int = 1,
+    ert_threshold: float = None,
 ) -> np.ndarray:
     """Render a full image, chunked to bound peak memory.
 
@@ -82,7 +100,11 @@ def render_image(
     own output slice, and chunk boundaries are fixed by ``chunk`` alone,
     so the image is bit-identical for every ``jobs`` setting.
 
-    Returns an ``(h, w, 3)`` float image in [0, 1].
+    ``ert_threshold`` turns on early ray termination per chunk (see
+    :func:`render_rays`); the frame buffer is float32, the serving
+    pipeline's pixel format.
+
+    Returns an ``(h, w, 3)`` float32 image in [0, 1].
     """
     if chunk < 1:
         raise ValueError("chunk must be positive")
@@ -90,7 +112,7 @@ def render_image(
 
     rays = generate_rays(camera)
     origins, directions = normalizer.rays_to_unit(rays.origins, rays.directions)
-    out = np.empty((camera.n_pixels, 3))
+    out = np.empty((camera.n_pixels, 3), dtype=np.float32)
 
     def render_chunk(start, stop):
         colors, _, _ = render_rays(
@@ -100,6 +122,7 @@ def render_image(
             marcher,
             occupancy=occupancy,
             background=background,
+            ert_threshold=ert_threshold,
         )
         out[start:stop] = colors
 

@@ -27,8 +27,8 @@ class SampleBatch:
     contiguous and ordered front-to-back, which the renderer requires.
     """
 
-    positions: np.ndarray  # (n_samples, 3) in unit-cube space
-    directions: np.ndarray  # (n_samples, 3) unit view directions
+    positions: np.ndarray  # (n_samples, 3) float32, in unit-cube space
+    directions: np.ndarray  # (n_samples, 3) float32 unit view directions
     deltas: np.ndarray  # (n_samples,) marching step of each sample
     ts: np.ndarray  # (n_samples,) distance along the (normalized) ray
     ray_idx: np.ndarray  # (n_samples,) source ray of each sample
@@ -95,12 +95,12 @@ class RayMarcher:
             counts = np.maximum(counts, 0)
             total = int(counts.sum())
             if total == 0:
-                empty = np.empty((0, 3))
+                empty = np.empty((0, 3), dtype=np.float32)
                 batch = SampleBatch(
                     positions=empty,
                     directions=empty.copy(),
-                    deltas=np.empty(0),
-                    ts=np.empty(0),
+                    deltas=np.empty(0, dtype=np.float64),
+                    ts=np.empty(0, dtype=np.float64),
                     ray_idx=np.empty(0, dtype=np.int64),
                     n_rays=n_rays,
                     candidates=0,
@@ -118,14 +118,27 @@ class RayMarcher:
             t = t0[ray_idx] + (within + offsets) * step
             t = np.minimum(t, t1[ray_idx] - 1e-9)
             positions = origins[ray_idx] + t[:, None] * directions[ray_idx]
-            positions = np.clip(positions, 0.0, 1.0 - 1e-9)
-            deltas = np.full(total, step)
+            # Stage II consumes float32 (the hash gather + MLP hot path);
+            # march in float64 for t precision, then cast once.  Clip in
+            # the float32 domain — clipping before the cast could round a
+            # near-1 value back up to exactly 1.0.
+            positions = np.clip(
+                positions.astype(np.float32),
+                np.float32(0.0),
+                np.nextafter(np.float32(1.0), np.float32(0.0)),
+            )
+            # deltas/ts stay float64: they feed the float64 compositing
+            # accumulators, unlike the float32 position/direction payload.
+            deltas = np.full(total, step, dtype=np.float64)
             keep = np.ones(total, dtype=bool)
             if self.config.use_occupancy and occupancy is not None:
+                # Query on the cast positions so gating agrees with the
+                # coordinates Stage II actually sees.
                 keep = occupancy.query(positions)
+            directions32 = directions.astype(np.float32)
             batch = SampleBatch(
                 positions=positions[keep],
-                directions=directions[ray_idx[keep]],
+                directions=directions32[ray_idx[keep]],
                 deltas=deltas[keep],
                 ts=t[keep],
                 ray_idx=ray_idx[keep],

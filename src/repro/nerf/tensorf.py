@@ -124,9 +124,17 @@ class DenseGridField:
         grad_features, density_grads = self.density_mlp.backward(
             grad_latent, cache.density_caches
         )
-        grad_grid = np.zeros_like(self.grid)
-        contrib = cache.weights[:, :, None] * grad_features[:, None, :]
-        np.add.at(grad_grid, cache.indices.reshape(-1), contrib.reshape(-1, self.config.n_features))
+        # bincount scatter: accumulates in input order like the np.add.at
+        # it replaces, so gradients are bit-identical on duplicate cells.
+        contrib = (cache.weights[:, :, None] * grad_features[:, None, :]).reshape(
+            -1, self.config.n_features
+        )
+        flat_idx = cache.indices.reshape(-1)
+        grad_grid = np.empty_like(self.grid)
+        for feature in range(self.config.n_features):
+            grad_grid[:, feature] = np.bincount(
+                flat_idx, weights=contrib[:, feature], minlength=self.grid.shape[0]
+            )
         grads = {"grid": grad_grid}
         for key, value in density_grads.items():
             grads[f"density.{key}"] = value

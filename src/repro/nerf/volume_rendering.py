@@ -43,14 +43,25 @@ def segmented_exclusive_cumsum(values: np.ndarray, fences: np.ndarray) -> np.nda
 
 
 def segment_sum(values: np.ndarray, ray_idx: np.ndarray, n_rays: int) -> np.ndarray:
-    """Sum flat per-sample values into per-ray totals (vector-valued ok)."""
+    """Sum flat per-sample values into per-ray totals (vector-valued ok).
+
+    Implemented as one ``np.bincount`` per trailing column rather than the
+    element-at-a-time ``np.add.at`` buffered scatter.  ``bincount``
+    accumulates its weights in input order, exactly like ``add.at``, so
+    the sums are bit-identical (see
+    :func:`repro.perf.reference.scatter_add_reference`) — including on
+    duplicate indices — while running an order of magnitude faster.
+    """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim == 1:
-        out = np.zeros(n_rays)
-    else:
-        out = np.zeros((n_rays,) + values.shape[1:])
-    np.add.at(out, ray_idx, values)
-    return out
+        return np.bincount(ray_idx, weights=values, minlength=n_rays)
+    flat = values.reshape(values.shape[0], -1)
+    out = np.empty((n_rays, flat.shape[1]), dtype=np.float64)
+    for column in range(flat.shape[1]):
+        out[:, column] = np.bincount(
+            ray_idx, weights=flat[:, column], minlength=n_rays
+        )
+    return out.reshape((n_rays,) + values.shape[1:])
 
 
 @dataclass

@@ -1,0 +1,118 @@
+"""End-to-end benches: a real train iteration and a real rendered frame.
+
+The kernel benches isolate single hot loops; these two measure the whole
+pipeline the paper characterizes (Figs. 9/10): Stage I sampling, Stage
+II hash gather + MLP, Stage III compositing, optimizer step.  The
+"reference" side swaps the frozen pre-overhaul encoding
+(:class:`~repro.perf.reference.ReferenceHashEncoding`) into an otherwise
+identical trainer/renderer, so the ratio is attributable to the kernel
+overhaul alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import synthetic
+from ..nerf.model import InstantNGPModel, ModelConfig
+from ..nerf.hash_encoding import HashEncodingConfig
+from ..nerf.occupancy import OccupancyGrid
+from ..nerf.renderer import render_image
+from ..nerf.sampling import RayMarcher, SamplerConfig
+from ..nerf.trainer import Trainer, TrainerConfig
+from .reference import ReferenceHashEncoding
+from .timing import PairedTiming, time_callable
+
+#: Bench RNG/model seed — fixed so recorded numbers are reproducible.
+SEED = 0
+
+
+def _bench_model(smoke: bool, reference_kernels: bool) -> InstantNGPModel:
+    """A mid-size model, optionally running the pre-overhaul encoding."""
+    config = ModelConfig(
+        encoding=HashEncodingConfig(
+            n_levels=4 if smoke else 8,
+            n_features=2,
+            log2_table_size=12 if smoke else 14,
+            base_resolution=8,
+            finest_resolution=64 if smoke else 128,
+        ),
+        hidden_width=32,
+        geo_features=15,
+    )
+    model = InstantNGPModel(config, seed=SEED)
+    if reference_kernels:
+        model.encoding = ReferenceHashEncoding(
+            config.encoding, rng=np.random.default_rng(SEED)
+        )
+    return model
+
+
+def _bench_dataset(smoke: bool):
+    return synthetic.make_dataset(
+        "mic",
+        n_views=4,
+        width=16 if smoke else 32,
+        height=16 if smoke else 32,
+        gt_steps=32,
+    )
+
+
+def bench_train_iteration(smoke: bool = False) -> dict:
+    """Wall time of one training step, averaged over a short run.
+
+    Fresh trainers (same seeds) are built for each side so optimizer and
+    RNG state cannot leak between the measurements.
+    """
+    dataset = _bench_dataset(smoke)
+    iters = 4 if smoke else 12
+    config = TrainerConfig(
+        batch_rays=256 if smoke else 1024,
+        lr=5e-3,
+        max_samples_per_ray=32,
+        occupancy_resolution=32,
+        occupancy_interval=4,
+        seed=SEED,
+    )
+
+    def run(reference_kernels: bool):
+        model = _bench_model(smoke, reference_kernels)
+        trainer = Trainer(
+            model, dataset.cameras, dataset.images, dataset.normalizer, config
+        )
+
+        def step_all():
+            for _ in range(iters):
+                trainer.train_step()
+
+        return time_callable(step_all, repeats=1, warmup=0) / iters
+
+    timing = PairedTiming(ref_s=run(True), opt_s=run(False))
+    return timing.as_record()
+
+
+def bench_render_frame(smoke: bool = False) -> dict:
+    """Wall time of one full rendered frame through :func:`render_image`."""
+    dataset = _bench_dataset(smoke)
+    marcher = RayMarcher(SamplerConfig(max_samples=32))
+    occupancy = OccupancyGrid(resolution=16)
+    camera = dataset.cameras[0]
+
+    def run(reference_kernels: bool) -> float:
+        model = _bench_model(smoke, reference_kernels)
+        return time_callable(
+            lambda: render_image(
+                model, camera, dataset.normalizer, marcher, occupancy=occupancy
+            ),
+            repeats=2 if smoke else 3,
+        )
+
+    timing = PairedTiming(ref_s=run(True), opt_s=run(False))
+    return timing.as_record()
+
+
+#: name -> builder registry for the end-to-end benches.
+E2E_BENCHES = {
+    "train_iteration": bench_train_iteration,
+    "render_frame": bench_render_frame,
+}

@@ -1,0 +1,149 @@
+"""Kernel-level benchmarks: each hot-path kernel vs its frozen reference.
+
+Every bench builds one deterministic workload, then times the reference
+implementation (:mod:`repro.perf.reference`) and the optimized library
+code back to back on identical inputs.  Input equality *is* checked in
+the test suite, not here — the bench trusts the equivalence tests and
+only measures.
+
+``KERNEL_BENCHES`` maps bench name to a builder; builders take a
+``smoke`` flag that shrinks the workload for CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nerf.hash_encoding import HashEncoding, HashEncodingConfig
+from ..nerf.occupancy import OccupancyGrid
+from ..nerf.volume_rendering import segment_sum
+from ..sim.trace import distribute_samples_over_pairs
+from . import reference
+from .timing import time_pair
+
+#: Bench RNG seed — fixed so recorded numbers are workload-reproducible.
+SEED = 1234
+
+
+def _bench_encoding(smoke: bool) -> tuple:
+    """Shared hash-encoding workload: ``(encoding, reference, points)``."""
+    config = HashEncodingConfig(
+        n_levels=8,
+        n_features=2,
+        log2_table_size=14,
+        base_resolution=16,
+        finest_resolution=256,
+    )
+    opt = HashEncoding(config, rng=np.random.default_rng(SEED))
+    ref = reference.ReferenceHashEncoding(config, rng=np.random.default_rng(SEED))
+    rng = np.random.default_rng(SEED)
+    points = rng.random((2_000 if smoke else 20_000, 3))
+    return opt, ref, points
+
+
+def bench_hash_forward(smoke: bool = False) -> dict:
+    """Multi-level hash-encoding forward: fused batch vs per-level loop."""
+    opt, ref, points = _bench_encoding(smoke)
+    timing = time_pair(
+        lambda: ref.forward(points),
+        lambda: opt.forward(points),
+        repeats=3 if smoke else 5,
+    )
+    return timing.as_record()
+
+
+def bench_hash_backward(smoke: bool = False) -> dict:
+    """Hash-table gradient scatter: flat bincount vs per-level add.at."""
+    opt, ref, points = _bench_encoding(smoke)
+    _, opt_trace = opt.forward(points)
+    _, ref_trace = ref.forward(points)
+    rng = np.random.default_rng(SEED + 1)
+    grad = rng.normal(size=(points.shape[0], opt.config.output_dim))
+    timing = time_pair(
+        lambda: ref.backward(grad, ref_trace),
+        lambda: opt.backward(grad, opt_trace),
+        repeats=3 if smoke else 5,
+    )
+    return timing.as_record()
+
+
+def bench_hash_fwd_bwd(smoke: bool = False) -> dict:
+    """Full encoding round trip (forward + backward) — the headline
+    kernel number the acceptance gate tracks."""
+    opt, ref, points = _bench_encoding(smoke)
+    rng = np.random.default_rng(SEED + 1)
+    grad = rng.normal(size=(points.shape[0], opt.config.output_dim))
+
+    def run(encoding):
+        _, trace = encoding.forward(points)
+        encoding.backward(grad, trace)
+
+    timing = time_pair(
+        lambda: run(ref), lambda: run(opt), repeats=3 if smoke else 5
+    )
+    return timing.as_record()
+
+
+def bench_scatter_add(smoke: bool = False) -> dict:
+    """Duplicate-heavy segment sum: bincount columns vs ``np.add.at``."""
+    rng = np.random.default_rng(SEED)
+    n = 20_000 if smoke else 200_000
+    n_rays = n // 16
+    ray_idx = np.sort(rng.integers(0, n_rays, size=n))
+    values = rng.normal(size=(n, 3))
+    timing = time_pair(
+        lambda: reference.scatter_add_reference(values, ray_idx, n_rays),
+        lambda: segment_sum(values, ray_idx, n_rays),
+        repeats=3 if smoke else 5,
+    )
+    return timing.as_record()
+
+
+def bench_occupancy_init(smoke: bool = False) -> dict:
+    """Analytic grid init: one batched draw vs per-round jitter loop."""
+
+    def density_fn(p):
+        return np.exp(-10.0 * ((p - 0.5) ** 2).sum(axis=-1))
+
+    res = 16 if smoke else 48
+    opt = OccupancyGrid(resolution=res)
+    ref = OccupancyGrid(resolution=res)
+    timing = time_pair(
+        lambda: reference.set_from_function_reference(
+            ref, density_fn, samples_per_cell=4, rng=np.random.default_rng(SEED)
+        ),
+        lambda: opt.set_from_function(
+            density_fn, samples_per_cell=4, rng=np.random.default_rng(SEED)
+        ),
+        repeats=3 if smoke else 5,
+    )
+    return timing.as_record()
+
+
+def bench_trace_pair_durations(smoke: bool = False) -> dict:
+    """Trace span accounting: vectorized slices vs per-pair Python loop."""
+    rng = np.random.default_rng(SEED)
+    n_rays = 2_000 if smoke else 20_000
+    pairs_per_ray = rng.integers(1, 4, size=n_rays)
+    pair_ray_idx = np.repeat(np.arange(n_rays), pairs_per_ray)
+    spans = rng.random(pair_ray_idx.shape[0])
+    kept = rng.integers(0, 32, size=n_rays)
+    timing = time_pair(
+        lambda: reference.pair_durations_reference(
+            pair_ray_idx, spans, kept, n_rays
+        ),
+        lambda: distribute_samples_over_pairs(pair_ray_idx, spans, kept, n_rays),
+        repeats=3 if smoke else 5,
+    )
+    return timing.as_record()
+
+
+#: name -> builder registry the bench driver iterates, in report order.
+KERNEL_BENCHES = {
+    "hash_forward": bench_hash_forward,
+    "hash_backward": bench_hash_backward,
+    "hash_fwd_bwd": bench_hash_fwd_bwd,
+    "scatter_add": bench_scatter_add,
+    "occupancy_init": bench_occupancy_init,
+    "trace_pair_durations": bench_trace_pair_durations,
+}

@@ -1,0 +1,171 @@
+"""Pre-optimization reference kernels, frozen for equivalence and benches.
+
+The hot-path overhaul (fused multi-level hash lookups, ``np.bincount``
+scatters, sorted-segment occupancy maxima) must not change results, so
+the implementations it replaced live on here, verbatim:
+
+* the equivalence suite asserts the optimized kernels are bit-identical
+  to these references (or PSNR-identical where a fusion reorders float
+  sums);
+* the benchmark harness (:mod:`repro.perf.bench`) times reference and
+  optimized side by side in the same process, which makes the recorded
+  speedups machine-portable — the CI regression gate compares speedup
+  *ratios*, not wall-clock seconds.
+
+Nothing here is a fallback: library code always runs the optimized
+kernels.  These functions exist to be measured against and tested
+against, never to be fast.
+
+(The occupancy EMA update has no reference here on purpose: its
+buffered ``np.maximum.at`` *survived* the overhaul — the harness
+measured a sorted-segment rewrite ~8x slower, see the comment in
+:meth:`repro.nerf.occupancy.OccupancyGrid.update` — so the optimized
+kernel and the original are the same code.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nerf.hash_encoding import EncodingTrace, HashEncoding
+from ..nerf.occupancy import OccupancyGrid
+
+
+def hash_forward_reference(encoding: HashEncoding, points: np.ndarray) -> tuple:
+    """Per-level loop hash-encoding forward (the pre-fusion kernel).
+
+    Mirrors the original :meth:`HashEncoding.forward`: one
+    ``level_lookup`` + gather + weighted sum per resolution level, with a
+    Python-level loop over levels.  Returns ``(features, trace)`` with
+    the same contract as the optimized forward.
+    """
+    points = np.atleast_2d(points)
+    n = points.shape[0]
+    cfg = encoding.config
+    features = np.empty((n, cfg.output_dim), dtype=np.float64)
+    all_indices, all_weights, all_corners = [], [], []
+    for level in range(cfg.n_levels):
+        corners, indices, weights = encoding.level_lookup(points, level)
+        gathered = encoding.tables[level][indices]  # (n, 8, F)
+        features[:, level * cfg.n_features : (level + 1) * cfg.n_features] = (
+            weights[:, :, None] * gathered
+        ).sum(axis=1)
+        all_indices.append(indices)
+        all_weights.append(weights)
+        all_corners.append(corners)
+    trace = EncodingTrace(
+        indices=all_indices, weights=all_weights, corners=all_corners, n_points=n
+    )
+    return features, trace
+
+
+def hash_backward_reference(
+    encoding: HashEncoding, grad_features: np.ndarray, trace: EncodingTrace
+) -> np.ndarray:
+    """Per-level ``np.add.at`` hash-encoding backward (pre-bincount).
+
+    The element-at-a-time buffered scatter this reproduces is the
+    hotspot the optimized backward replaces with one flat
+    ``np.bincount`` per feature channel.
+    """
+    grad_features = np.atleast_2d(grad_features)
+    if grad_features.shape != (trace.n_points, encoding.config.output_dim):
+        raise ValueError("grad_features shape mismatch with trace")
+    cfg = encoding.config
+    grad_tables = np.zeros_like(encoding.tables)
+    for level in range(cfg.n_levels):
+        g = grad_features[:, level * cfg.n_features : (level + 1) * cfg.n_features]
+        contrib = trace.weights[level][:, :, None] * g[:, None, :]  # (n, 8, F)
+        flat_idx = np.asarray(trace.indices[level]).reshape(-1)
+        np.add.at(
+            grad_tables[level],
+            flat_idx,
+            contrib.reshape(-1, cfg.n_features),
+        )
+    return grad_tables
+
+
+class ReferenceHashEncoding(HashEncoding):
+    """A :class:`HashEncoding` running the pre-fusion forward/backward.
+
+    Drop-in replacement used by the end-to-end benches: swapping this
+    into a model re-creates the pre-overhaul training iteration without
+    touching the trainer.
+    """
+
+    def forward(self, points: np.ndarray) -> tuple:
+        """Reference per-level-loop forward (see module docstring)."""
+        return hash_forward_reference(self, points)
+
+    def backward(self, grad_features: np.ndarray, trace: EncodingTrace) -> np.ndarray:
+        """Reference ``np.add.at`` backward (see module docstring)."""
+        return hash_backward_reference(self, grad_features, trace)
+
+
+def scatter_add_reference(
+    values: np.ndarray, index: np.ndarray, size: int
+) -> np.ndarray:
+    """``np.add.at`` segment sum: the scatter idiom the overhaul retired.
+
+    ``values`` may be 1-D or ``(n, k)``; returns the per-bin sums with
+    ``size`` bins.  Semantically identical to the ``np.bincount`` path in
+    :func:`repro.perf.kernels` and to
+    :func:`repro.nerf.volume_rendering.segment_sum`.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim == 1:
+        out = np.zeros(size, dtype=np.float64)
+    else:
+        out = np.zeros((size,) + values.shape[1:], dtype=np.float64)
+    np.add.at(out, index, values)
+    return out
+
+
+def set_from_function_reference(
+    grid: OccupancyGrid, density_fn, samples_per_cell: int = 2, rng=None
+) -> None:
+    """Pre-vectorization grid initialization: one jitter round per pass.
+
+    Draws and evaluates ``samples_per_cell`` jitter rounds sequentially —
+    the Python loop the optimized ``set_from_function`` collapses into a
+    single draw and a single ``density_fn`` call.  RNG consumption order
+    matches the vectorized version exactly, so both produce bit-identical
+    grids from equal seeds.
+    """
+    rng = rng or np.random.default_rng(0)
+    r = grid.resolution
+    base = (
+        np.stack(np.meshgrid(*([np.arange(r)] * 3), indexing="ij"), axis=-1)
+        .reshape(-1, 3)
+        .astype(np.float64)
+    )
+    best = np.zeros(grid.n_cells, dtype=np.float32)
+    for _ in range(samples_per_cell):
+        jitter = rng.uniform(0.0, 1.0, size=base.shape)
+        points = (base + jitter) / r
+        density = np.asarray(density_fn(points), dtype=np.float32).reshape(-1)
+        np.maximum(best, density, out=best)
+    grid.density_ema = best.reshape((r,) * 3)
+    grid.mask = grid.density_ema > grid.threshold
+
+
+def pair_durations_reference(
+    pair_ray_idx: np.ndarray,
+    spans: np.ndarray,
+    kept_per_ray: np.ndarray,
+    n_rays: int,
+) -> list:
+    """Pre-vectorization trace span accounting (Python loop + ``add.at``).
+
+    Distributes each ray's kept samples over its cube-pairs
+    proportionally to span length, exactly as the original
+    ``trace_from_rays`` inner loop did.
+    """
+    pair_durations = [[] for _ in range(n_rays)]
+    span_per_ray = np.zeros(n_rays, dtype=np.float64)
+    np.add.at(span_per_ray, pair_ray_idx, spans)
+    for ray, span in zip(pair_ray_idx, spans):
+        total_span = span_per_ray[ray]
+        share = span / total_span if total_span > 0 else 0.0
+        pair_durations[ray].append(float(kept_per_ray[ray]) * share)
+    return pair_durations

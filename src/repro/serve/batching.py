@@ -222,7 +222,11 @@ def activate_request(
         degrade_level=degrade_level,
         samples_per_ray=samples_per_ray,
         resolution_scale=resolution_scale,
-        out=np.empty((n, 3), dtype=np.float64),
+        # float32: the pixel format of the rendering pipeline — the old
+        # float64 buffer silently doubled the frame-memory footprint and
+        # upcast every slice store (repro.nerf.renderer keeps its frame
+        # buffer float32 for the same reason).
+        out=np.empty((n, 3), dtype=np.float32),
         slices_remaining=0,
         admitted_s=now,
         frame_shape=frame_shape,

@@ -144,6 +144,32 @@ class WorkloadTrace:
         return target_samples / self.n_samples
 
 
+def distribute_samples_over_pairs(
+    pair_ray_idx: np.ndarray,
+    spans: np.ndarray,
+    kept_per_ray: np.ndarray,
+    n_rays: int,
+) -> list:
+    """Distribute each ray's kept samples over its cube-pairs
+    proportionally to the pairs' span lengths.
+
+    Vectorized replacement for the original append loop: ``np.bincount``
+    accumulates weights in input order exactly like the ``np.add.at`` it
+    replaces, and ``intersect_octants`` returns pairs sorted by
+    ``ray_idx``, so the per-ray slices below reproduce the loop bit for
+    bit (see :func:`repro.perf.reference.pair_durations_reference`).
+    """
+    spans = np.asarray(spans, dtype=np.float64)
+    span_per_ray = np.bincount(pair_ray_idx, weights=spans, minlength=n_rays)
+    total = span_per_ray[pair_ray_idx]
+    share = np.divide(spans, total, out=np.zeros_like(spans), where=total > 0)
+    dur = np.asarray(kept_per_ray)[pair_ray_idx].astype(np.float64) * share
+    fences = np.concatenate(
+        ([0], np.cumsum(np.bincount(pair_ray_idx, minlength=n_rays)))
+    )
+    return [dur[fences[ray] : fences[ray + 1]].tolist() for ray in range(n_rays)]
+
+
 def trace_from_rays(
     origins: np.ndarray,
     directions: np.ndarray,
@@ -181,16 +207,10 @@ def trace_from_rays(
 
     n_cells = count_cells_visited(origins, directions, occupancy)
     kept_per_ray = batch.samples_per_ray
-    # Distribute each ray's kept samples over its cube-pairs
-    # proportionally to the pairs' span lengths.
-    pair_durations = [[] for _ in range(n_rays)]
     spans = pairs.t1 - pairs.t0
-    span_per_ray = np.zeros(n_rays)
-    np.add.at(span_per_ray, pairs.ray_idx, spans)
-    for ray, span in zip(pairs.ray_idx, spans):
-        total_span = span_per_ray[ray]
-        share = span / total_span if total_span > 0 else 0.0
-        pair_durations[ray].append(float(kept_per_ray[ray]) * share)
+    pair_durations = distribute_samples_over_pairs(
+        pairs.ray_idx, spans, kept_per_ray, n_rays
+    )
     corners = indices = None
     if encoding is not None and len(batch):
         k = min(len(batch), max_traced_vertices)

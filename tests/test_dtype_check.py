@@ -1,0 +1,68 @@
+"""In-tree enforcement of the dtype-discipline lint (tools/).
+
+The hot-path modules must allocate with explicit dtypes (NumPy's silent
+float64 default is how the serving pipeline grew a float64 frame
+buffer), and the serving frame path must not mention float64 at all.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location(
+        "check_dtypes", TOOLS / "check_dtypes.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_hot_paths_are_clean(lint):
+    import os
+
+    paths = [os.path.join(lint._REPO, p) for p in lint.HOT_MODULES]
+    offenders = lint.check_files(paths)
+    formatted = "\n".join(f"{p}:{l}: {m}" for p, l, m in offenders)
+    assert not offenders, f"dtype discipline violations:\n{formatted}"
+
+
+def test_flags_allocation_without_dtype(lint, tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import numpy as np\n"
+        "buffer = np.empty((4, 3))\n"
+        "ok = np.zeros(4, dtype=np.float32)\n"
+        "inherited = np.zeros_like(ok)\n"
+    )
+    offenders = lint.check_file(str(bad))
+    assert len(offenders) == 1
+    line, message = offenders[0]
+    assert line == 2
+    assert "np.empty" in message
+
+
+def test_flags_float64_in_no_float64_zone(lint, tmp_path):
+    frame = tmp_path / "frame.py"
+    frame.write_text(
+        "import numpy as np\n"
+        "out = np.empty((2, 3), dtype=np.float64)\n"
+    )
+    relaxed = lint.check_file(str(frame), no_float64=False)
+    strict = lint.check_file(str(frame), no_float64=True)
+    assert relaxed == []
+    assert any("float32-only" in message for _, message in strict)
+
+
+def test_main_reports_offenders(lint, tmp_path, capsys):
+    bad = tmp_path / "offender.py"
+    bad.write_text("import numpy as np\nx = np.full(3, 0.5)\n")
+    assert lint.main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "offender" in out and "1 offender" in out
+    assert lint.main([]) == 0  # the repo's own hot paths stay clean

@@ -1,0 +1,143 @@
+"""Central-difference gradient checks for the overhauled kernels.
+
+The hash-encoding backward was rewritten (flat bincount scatter over a
+fused trace) and the sampler now feeds float32 positions into Stage II;
+these checks pin forward/backward consistency on random inputs so any
+vectorization bug — wrong index math, dropped duplicate contributions,
+dtype-induced gradient drift — fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nerf.hash_encoding import HashEncoding, HashEncodingConfig
+from repro.nerf.mlp import MLP
+
+
+def central_difference(loss, flat_param, idx, eps=1e-6):
+    """Two-sided finite difference of ``loss`` w.r.t. one entry."""
+    original = flat_param[idx]
+    flat_param[idx] = original + eps
+    up = loss()
+    flat_param[idx] = original - eps
+    down = loss()
+    flat_param[idx] = original
+    return (up - down) / (2.0 * eps)
+
+
+@pytest.fixture
+def encoding():
+    config = HashEncodingConfig(
+        n_levels=3, n_features=2, log2_table_size=8, base_resolution=4,
+        finest_resolution=32,
+    )
+    return HashEncoding(config, rng=np.random.default_rng(0))
+
+
+@pytest.mark.parametrize(
+    "dtype,atol,rtol",
+    [(np.float64, 1e-6, 1e-3), (np.float32, 1e-5, 1e-2)],
+)
+def test_hash_encoding_backward_matches_central_difference(
+    encoding, dtype, atol, rtol
+):
+    """Table gradients agree with finite differences — float32 points
+    included (looser tolerances: the positions quantize, the float64
+    master tables do not)."""
+    rng = np.random.default_rng(21)
+    points = rng.random((40, 3)).astype(dtype)
+    g = rng.normal(size=(40, encoding.config.output_dim))
+    _, trace = encoding.forward(points)
+    grad_tables = encoding.backward(g, trace)
+
+    def loss():
+        features, _ = encoding.forward(points)
+        return float((features * g).sum())
+
+    flat_grad = grad_tables.reshape(-1)
+    flat_tables = encoding.tables.reshape(-1)
+    # The largest-gradient entries are the ones duplicates pile into.
+    picks = np.argsort(-np.abs(flat_grad))[:12]
+    for idx in picks:
+        numeric = central_difference(loss, flat_tables, idx)
+        analytic = flat_grad[idx]
+        scale = max(abs(numeric), abs(analytic))
+        assert abs(analytic - numeric) <= atol + rtol * scale, (
+            f"table entry {idx}: analytic {analytic} vs numeric {numeric}"
+        )
+
+
+def test_hash_encoding_forward_backward_shapes(encoding):
+    rng = np.random.default_rng(2)
+    points = rng.random((17, 3))
+    features, trace = encoding.forward(points)
+    assert features.shape == (17, encoding.config.output_dim)
+    grad = encoding.backward(np.ones_like(features), trace)
+    assert grad.shape == encoding.tables.shape
+
+
+def test_mlp_backward_matches_central_difference():
+    """MLP parameter *and* input gradients agree with finite differences."""
+    mlp = MLP(
+        [6, 16, 4], activations=["relu", "sigmoid"], name="fd",
+        rng=np.random.default_rng(3),
+    )
+    rng = np.random.default_rng(23)
+    x = rng.normal(size=(20, 6))
+    g = rng.normal(size=(20, 4))
+    out, caches = mlp.forward(x)
+    grad_in, grads = mlp.backward(g, caches)
+
+    def loss():
+        y, _ = mlp.forward(x)
+        return float((y * g).sum())
+
+    params = mlp.parameters()
+    for name, grad in grads.items():
+        flat_grad = np.asarray(grad).reshape(-1)
+        flat_p = params[f"{mlp.name}.{name}"].reshape(-1)
+        picks = np.argsort(-np.abs(flat_grad))[:4]
+        for idx in picks:
+            numeric = central_difference(loss, flat_p, idx)
+            analytic = flat_grad[idx]
+            scale = max(abs(numeric), abs(analytic))
+            assert abs(analytic - numeric) <= 1e-6 + 1e-3 * scale, (
+                f"{name}[{idx}]: analytic {analytic} vs numeric {numeric}"
+            )
+    # Input gradient via FD on x entries.
+    flat_x = x.reshape(-1)
+    flat_gin = grad_in.reshape(-1)
+    picks = np.argsort(-np.abs(flat_gin))[:6]
+    for idx in picks:
+        numeric = central_difference(loss, flat_x, idx)
+        analytic = flat_gin[idx]
+        scale = max(abs(numeric), abs(analytic))
+        assert abs(analytic - numeric) <= 1e-6 + 1e-3 * scale
+
+
+def test_mlp_float32_inputs_keep_gradient_consistency():
+    """float32 activations: forward/backward stay self-consistent within
+    float32 tolerances."""
+    mlp = MLP(
+        [4, 8, 2], activations=["relu", "none"], name="fd32",
+        rng=np.random.default_rng(5),
+    )
+    rng = np.random.default_rng(29)
+    x = rng.normal(size=(12, 4)).astype(np.float32)
+    g = rng.normal(size=(12, 2))
+    out, caches = mlp.forward(x)
+    grad_in, grads = mlp.backward(g, caches)
+
+    def loss():
+        y, _ = mlp.forward(x)
+        return float((y * g).sum())
+
+    params = mlp.parameters()
+    for name, grad in grads.items():
+        flat_grad = np.asarray(grad).reshape(-1)
+        flat_p = params[f"{mlp.name}.{name}"].reshape(-1)
+        idx = int(np.argmax(np.abs(flat_grad)))
+        numeric = central_difference(loss, flat_p, idx, eps=1e-5)
+        analytic = flat_grad[idx]
+        scale = max(abs(numeric), abs(analytic))
+        assert abs(analytic - numeric) <= 1e-4 + 1e-2 * scale

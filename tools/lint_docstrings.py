@@ -3,7 +3,7 @@
 
 Usage::
 
-    python tools/lint_docstrings.py [package ...]   # default: repro.parallel repro.experiments repro.serve
+    python tools/lint_docstrings.py [package ...]   # default: repro.parallel repro.experiments repro.serve repro.perf
 
 Walks every ``.py`` file of the named packages (via the AST — nothing is
 imported, so the lint is safe on broken code) and reports each *public*
@@ -25,7 +25,12 @@ import importlib
 import os
 import sys
 
-DEFAULT_PACKAGES = ("repro.parallel", "repro.experiments", "repro.serve")
+DEFAULT_PACKAGES = (
+    "repro.parallel",
+    "repro.experiments",
+    "repro.serve",
+    "repro.perf",
+)
 
 # Runnable straight from a checkout: the in-tree `src/` layout sits next
 # to this tools/ directory.
