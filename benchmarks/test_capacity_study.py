@@ -1,0 +1,44 @@
+"""Benchmark: capacity planner self-validation (profile -> plan -> drive).
+
+The acceptance surface of the ops plane: for each studied scene scale,
+driving the Poisson load generator at the planner-predicted max
+admission rate must achieve the target SLO attainment within the
+validation band, and at 1.5x the predicted rate attainment must
+measurably degrade.
+"""
+
+import pytest
+
+from helpers import run_and_report
+from repro.experiments.capacity_study import (
+    MIN_DEGRADATION,
+    TARGET_ATTAINMENT,
+    VALIDATION_BAND,
+)
+
+
+def test_capacity_study(benchmark):
+    result = run_and_report(benchmark, "capacity_study", quick=True)
+    assert result.summary["plan"] == "PASS"
+    assert result.summary["all_plans_feasible"]
+    assert result.summary["scales"] >= 2
+
+    by_scene = {}
+    for row in result.rows:
+        by_scene.setdefault(row["scene"], {})[row["rate_scale"]] = row
+    assert len(by_scene) >= 2  # two scene scales studied
+    for scene, runs in by_scene.items():
+        at_plan, overloaded = runs[1.0], runs[1.5]
+        # At the planned rate: goodput within the band of the target
+        # (the M/M/1 bound is conservative, so overshoot is success).
+        assert at_plan["goodput"] >= TARGET_ATTAINMENT - VALIDATION_BAND, scene
+        assert at_plan["goodput"] <= 1.0
+        # At 1.5x the planned rate: goodput measurably degrades.
+        assert (
+            at_plan["goodput"] - overloaded["goodput"] >= MIN_DEGRADATION
+        ), scene
+        assert overloaded["p99_ms"] > at_plan["p99_ms"], scene
+        # The overload run saturates the board; the planned run leaves
+        # the utilization headroom the plan promised.
+        assert overloaded["utilization"] > at_plan["utilization"], scene
+        assert at_plan["utilization"] < 0.96, scene

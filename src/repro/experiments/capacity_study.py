@@ -1,0 +1,151 @@
+"""Capacity study: fit cost models, plan capacity, validate empirically.
+
+The paper's provisioning claim — N chips sustain a workload at a latency
+SLO — is only credible if the planning math survives contact with the
+(simulated) service.  This experiment closes that loop for two scene
+scales:
+
+1. **profile**: fit a :class:`~repro.obs.costmodel.SceneCostModel` from
+   repeated telemetry-recorded serving runs (s/ray with 95% CI,
+   cycles/sample per module, samples/ray distribution);
+2. **plan**: derive the max admission rate and board count for a latency
+   SLO at 90% attainment (:func:`~repro.obs.planner.plan_capacity`);
+3. **validate**: drive the Poisson load generator at exactly the planned
+   rate (goodput attainment must land within 0.10 of the target) and at
+   1.5x the planned rate (goodput must measurably degrade) —
+   :func:`~repro.obs.planner.validate_plan`.
+
+The study services run with immediate dispatch
+(``BatchPolicy(max_wait_s=0)``) so the queueing model's assumptions hold
+exactly; the planner's handling of a non-zero coalescing wait is
+exercised separately by the cost model's ``overhead_s`` unit tests.
+
+``plan: PASS`` in the summary is the token the CI ops job greps.
+"""
+
+from __future__ import annotations
+
+from ..obs import PlanTarget, plan_capacity, profile_demo_scene, validate_plan
+from ..serve import BatchPolicy
+from .base import ExperimentResult
+
+#: Billing multiplier per probe frame (see serving_study.HW_SCALE).
+HW_SCALE = 200.0
+
+#: SLO budget as a multiple of the modeled per-frame board time.  Large
+#: enough that the tail term leaves headroom (lambda_max ~ 0.86 mu at
+#: 90% attainment), small enough that 1.5x overload visibly blows it.
+SLO_FRAME_FACTOR = 16.0
+
+#: Required attainment the plans are made (and validated) against.
+TARGET_ATTAINMENT = 0.9
+
+#: Validation acceptance: goodput at the planned rate must land within
+#: this absolute distance of the target attainment (overshoot is fine —
+#: the plan is conservative by construction).
+VALIDATION_BAND = 0.10
+
+#: 1.5x overload must cost at least this much goodput vs the 1.0x run.
+MIN_DEGRADATION = 0.10
+
+#: Scene scales studied: (scene, probe resolution, max samples per ray).
+SCALES = (
+    ("chair", 12, 16),
+    ("lego", 20, 32),
+)
+
+
+def _study_scale(scene, probe, max_samples, runs, frames, min_frames, seed):
+    """Profile -> plan -> validate one scene scale; returns result rows."""
+    policy = BatchPolicy(max_wait_s=0.0)
+    model = profile_demo_scene(
+        scene,
+        runs=runs,
+        probe=probe,
+        max_samples=max_samples,
+        hw_scale=HW_SCALE,
+        frames=frames,
+        seed=seed,
+        batch_policy=policy,
+    )
+    s_frame = model.sim_s_per_frame()
+    overhead = model.overhead_s.mean if model.overhead_s is not None else 0.0
+    target = PlanTarget(
+        rate_hz=2000.0,
+        rays_per_frame=model.rays_per_frame,
+        slo_s=overhead + SLO_FRAME_FACTOR * s_frame,
+        attainment=TARGET_ATTAINMENT,
+        max_utilization=0.95,
+    )
+    plan = plan_capacity(model, target)
+    rows = []
+    goodputs = {}
+    for rate_scale in (1.0, 1.5):
+        check = validate_plan(
+            model,
+            target,
+            plan,
+            rate_scale=rate_scale,
+            min_frames=min_frames,
+            seed=seed + 17,
+            batch_policy=policy,
+        )
+        goodputs[rate_scale] = check["goodput_attainment"]
+        rows.append(
+            {
+                "scene": scene,
+                "rays_per_frame": target.rays_per_frame,
+                "s_frame_ms": s_frame * 1e3,
+                "slo_ms": target.slo_s * 1e3,
+                "planned_hz": plan.max_admission_hz,
+                "boards": plan.boards,
+                "rate_scale": rate_scale,
+                "offered": check["offered"],
+                "completed": check["completed"],
+                "goodput": check["goodput_attainment"],
+                "p99_ms": check["p99_ms"],
+                "utilization": check["utilization"],
+            }
+        )
+    within_band = goodputs[1.0] >= TARGET_ATTAINMENT - VALIDATION_BAND
+    degrades = goodputs[1.0] - goodputs[1.5] >= MIN_DEGRADATION
+    return rows, plan, within_band, degrades
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Run the profile -> plan -> validate loop over both scene scales."""
+    if quick:
+        runs, frames, min_frames = 2, 6, 100
+    else:
+        runs, frames, min_frames = 3, 10, 200
+    rows = []
+    checks = []
+    for i, (scene, probe, max_samples) in enumerate(SCALES):
+        scale_rows, plan, within_band, degrades = _study_scale(
+            scene, probe, max_samples, runs, frames, min_frames, seed=11 * i
+        )
+        rows.extend(scale_rows)
+        checks.append(
+            {
+                "scene": scene,
+                "feasible": plan.feasible,
+                "within_band": within_band,
+                "degrades": degrades,
+            }
+        )
+    ok = all(c["feasible"] and c["within_band"] and c["degrades"] for c in checks)
+    summary = {
+        "scales": len(SCALES),
+        "all_plans_feasible": all(c["feasible"] for c in checks),
+        "all_within_band": all(c["within_band"] for c in checks),
+        "all_overloads_degrade": all(c["degrades"] for c in checks),
+        "validation_band": VALIDATION_BAND,
+        "target_attainment": TARGET_ATTAINMENT,
+        "plan": "PASS" if ok else "FAIL",
+    }
+    return ExperimentResult(
+        experiment="capacity_study",
+        paper_ref="extension: capacity planning from fitted cost models",
+        rows=rows,
+        summary=summary,
+    )

@@ -27,6 +27,7 @@ import sys
 
 from .. import telemetry
 from . import (
+    capacity_study,
     chiplet_scaling,
     dataset_stats,
     ert_study,
@@ -84,6 +85,7 @@ REGISTRY = {
     "ert_study": (ert_study, "extension: early ray termination"),
     "fault_sweep": (fault_sweep, "robustness: faults & graceful degradation"),
     "serving_study": (serving_study, "serving: latency-throughput & SLO attainment"),
+    "capacity_study": (capacity_study, "ops: cost models -> capacity plans, validated"),
     "warping_study": (warping_study, "Table III fn. 1: warping vs motion"),
     "dataset_stats": (dataset_stats, "DESIGN.md: substitution statistics"),
 }
@@ -396,6 +398,110 @@ def _cmd_bench(args) -> int:
     return 0 if passed else 1
 
 
+def _cmd_plan(args) -> int:
+    """Fit (or load) a cost model and print the capacity plan.
+
+    With ``--model FILE`` the plan is computed from a previously saved
+    cost model; otherwise the scene is profiled through the real serving
+    stack first (``--runs`` repeated telemetry-recorded runs).
+    ``--save-model FILE`` persists the fitted model for later planning
+    without re-profiling.  Exit code 0 = feasible, 1 = infeasible.
+    """
+    from ..obs import (
+        PlanTarget,
+        SceneCostModel,
+        format_plan,
+        plan_capacity,
+        profile_demo_scene,
+    )
+
+    if args.model:
+        model = SceneCostModel.load(args.model)
+        logger.info("loaded cost model for %r from %s", model.scene, args.model)
+    else:
+        model = profile_demo_scene(
+            args.scene,
+            runs=args.runs,
+            probe=args.probe,
+            max_samples=args.spr,
+            hw_scale=args.hw_scale,
+        )
+    if args.save_model:
+        model.save(args.save_model)
+        logger.info("saved cost model to %s", args.save_model)
+    target = PlanTarget(
+        rate_hz=args.rate,
+        rays_per_frame=model.rays_per_frame or args.probe * args.probe,
+        slo_s=args.slo_ms / 1e3,
+        attainment=args.attainment,
+    )
+    plan = plan_capacity(model, target)
+    if args.json:
+        logger.info(
+            "%s",
+            json.dumps(
+                {"model": model.to_payload(), "plan": plan.to_payload()},
+                indent=2,
+            ),
+        )
+    else:
+        logger.info("%s", format_plan(plan, model))
+    return 0 if plan.feasible else 1
+
+
+def _cmd_top(args) -> int:
+    """Render the live ops dashboard over a demo serving burst.
+
+    Drives the demo registry under a recording telemetry session with a
+    periodic snapshot publisher, then renders the terminal dashboard:
+    per-module throughput, queue depths, shed/degrade/eviction rates,
+    SLO attainment, and bench trends from the committed history log.
+    ``--snapshot`` (the CI mode) prints only the final frame; the
+    default replays a few evenly spaced frames of the run's evolution.
+    """
+    from ..obs import (
+        load_history,
+        render_dashboard,
+        run_demo_ops,
+        trend_rows,
+    )
+
+    history, slo, _ = run_demo_ops(
+        rate_hz=args.rate,
+        duration_s=args.duration,
+        n_scenes=args.scenes,
+        probe=args.probe,
+        hw_scale=args.hw_scale,
+        interval_s=args.interval,
+        seed=args.seed,
+    )
+    bench_rows = trend_rows(
+        load_history(args.bench_history), mode=args.bench_mode
+    )
+    if args.snapshot or len(history) <= 1:
+        frames = [len(history)]
+    else:
+        # Replay: ~5 evenly spaced prefixes, always ending at the full
+        # window, so the run's evolution is visible without scrollback.
+        step = max(1, len(history) // 5)
+        frames = list(range(step, len(history), step)) + [len(history)]
+    for i, end in enumerate(frames):
+        # Intermediate frames show the evolving window; the final frame
+        # includes the SLO table and bench trends.
+        last = end == len(history)
+        logger.info(
+            "%s%s",
+            "" if i == 0 else "\n",
+            render_dashboard(
+                history[:end],
+                slo=slo if last else None,
+                bench_rows=bench_rows if last else None,
+                bench_mode=args.bench_mode,
+            ),
+        )
+    return 0
+
+
 def _cmd_report(args) -> int:
     with telemetry.session() as tel:
         result = run_experiment(args.name, quick=not args.full)
@@ -608,6 +714,103 @@ def main(argv: list = None) -> int:
         metavar="FRAC",
         help="allowed relative speedup drop before failing (default: 0.2)",
     )
+    plan_parser = sub.add_parser(
+        "plan",
+        parents=[common],
+        help="fit a per-scene cost model from telemetry and print the "
+        "capacity plan for a target load and latency SLO",
+    )
+    plan_parser.add_argument(
+        "--scene", default="chair", help="demo scene to profile (default: chair)"
+    )
+    plan_parser.add_argument(
+        "--rate", type=float, default=2000.0, metavar="HZ",
+        help="target offered frame rate across the fleet (default: 2000)",
+    )
+    plan_parser.add_argument(
+        "--slo-ms", type=float, default=5.0, metavar="MS",
+        help="per-frame latency budget in simulated ms (default: 5.0)",
+    )
+    plan_parser.add_argument(
+        "--attainment", type=float, default=0.9, metavar="FRAC",
+        help="required fraction of frames within the budget (default: 0.9)",
+    )
+    plan_parser.add_argument(
+        "--probe", type=int, default=16, metavar="PX",
+        help="probe frame edge length in pixels (default: 16)",
+    )
+    plan_parser.add_argument(
+        "--spr", type=int, default=32, metavar="N",
+        help="max samples per ray for the profiled scene (default: 32)",
+    )
+    plan_parser.add_argument(
+        "--hw-scale", type=float, default=400.0, metavar="X",
+        help="bill each probe frame as X frames of hardware work (default: 400)",
+    )
+    plan_parser.add_argument(
+        "--runs", type=int, default=3, metavar="N",
+        help="profiling runs behind the confidence intervals (default: 3)",
+    )
+    plan_parser.add_argument(
+        "--model", metavar="FILE", default=None,
+        help="plan from a saved cost model instead of profiling",
+    )
+    plan_parser.add_argument(
+        "--save-model", metavar="FILE", default=None,
+        help="write the fitted cost model as JSON to FILE",
+    )
+    plan_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the model + plan as JSON instead of the text report",
+    )
+    top_parser = sub.add_parser(
+        "top",
+        parents=[common],
+        help="render the terminal ops dashboard over a demo serving burst "
+        "(throughput, queues, SLO attainment, bench trends)",
+    )
+    top_parser.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="CI mode: print only the final dashboard frame",
+    )
+    top_parser.add_argument(
+        "--rate", type=float, default=300.0, metavar="HZ",
+        help="open-loop offered arrival rate (default: 300)",
+    )
+    top_parser.add_argument(
+        "--duration", type=float, default=2.0, metavar="S",
+        help="simulated arrival horizon in seconds (default: 2.0)",
+    )
+    top_parser.add_argument(
+        "--scenes", type=int, default=2, metavar="N",
+        help="demo scenes to deploy (default: 2)",
+    )
+    top_parser.add_argument(
+        "--probe", type=int, default=16, metavar="PX",
+        help="probe frame edge length in pixels (default: 16)",
+    )
+    top_parser.add_argument(
+        "--hw-scale", type=float, default=400.0, metavar="X",
+        help="bill each probe frame as X frames of hardware work (default: 400)",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=0.05, metavar="S",
+        help="snapshot publisher period on the service clock (default: 0.05)",
+    )
+    top_parser.add_argument(
+        "--seed", type=int, default=0, help="arrival-trace RNG seed"
+    )
+    top_parser.add_argument(
+        "--bench-history", metavar="FILE", default="BENCH_history.jsonl",
+        help="bench history log for the trends section "
+        "(default: BENCH_history.jsonl)",
+    )
+    top_parser.add_argument(
+        "--bench-mode", default="full", choices=("full", "smoke"),
+        help="bench mode whose speedups to trend (default: full)",
+    )
     report_parser = sub.add_parser(
         "report",
         parents=[common],
@@ -642,6 +845,10 @@ def main(argv: list = None) -> int:
         return _cmd_serve(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "top":
+        return _cmd_top(args)
     return _cmd_run(args)
 
 

@@ -196,6 +196,8 @@ class Trainer:
             m.histogram("trainer.step_s").observe(step_s)
             if step_s > 0:
                 m.gauge("trainer.rays_per_s").set(cfg.batch_rays / step_s)
+            if tel.publisher is not None:
+                tel.publisher.maybe_publish()
         tel.hooks.emit(telemetry.ON_ITERATION, trainer=self, loss=loss)
         return loss
 

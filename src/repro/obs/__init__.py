@@ -1,0 +1,80 @@
+"""Observability and ops plane: cost models, capacity planning, dashboard.
+
+``repro.obs`` turns the telemetry the rest of the stack records
+(:mod:`repro.telemetry` spans and metrics, :mod:`repro.serve` SLO
+attainment, the committed ``BENCH_*.json`` perf baselines) into
+operational answers — the layer the paper's provisioning argument lives
+in, and the plane a distributed render fleet will be operated through:
+
+* :mod:`~repro.obs.costmodel` — fit per-scene, per-module cost models
+  (s/ray, cycles/sample, samples/ray distributions) from recorded
+  telemetry snapshots and Chrome traces, with Student-t confidence
+  intervals over repeated runs and a stable on-disk JSON schema;
+* :mod:`~repro.obs.planner` — answer "how many boards / what max
+  admission rate" for a target load and latency SLO from a fitted cost
+  model (M/M/1 sojourn tail bound), and validate the answer empirically
+  by driving the Poisson load generator at the planned rate;
+* :mod:`~repro.obs.dashboard` — a stdlib-only terminal dashboard
+  (``runner top``) over the periodic metrics snapshots a
+  :class:`~repro.telemetry.metrics.SnapshotPublisher` retains:
+  per-module throughput, queue depths, shed/degrade/eviction rates,
+  SLO attainment, bench trends;
+* :mod:`~repro.obs.bench_trends` — append-only bench-run log and trend
+  tables over ``BENCH_nerf.json`` history (CLI:
+  ``tools/bench_history.py``).
+
+The whole package is read-only with respect to the pipeline: it
+consumes telemetry, never mutates model or simulator state, so enabling
+it cannot change a rendered pixel.
+"""
+
+from .bench_trends import (
+    append_entry,
+    entry_from_payload,
+    format_trend_table,
+    load_history,
+    sparkline,
+    trend_rows,
+)
+from .costmodel import (
+    CostObservation,
+    FittedStat,
+    SCHEMA_VERSION,
+    SceneCostModel,
+    fit_cost_model,
+    observation_from_run,
+    profile_demo_scene,
+    wall_s_per_ray_from_trace,
+)
+from .dashboard import render_dashboard, run_demo_ops
+from .planner import (
+    CapacityPlan,
+    PlanTarget,
+    format_plan,
+    plan_capacity,
+    validate_plan,
+)
+
+__all__ = [
+    "CapacityPlan",
+    "CostObservation",
+    "FittedStat",
+    "PlanTarget",
+    "SCHEMA_VERSION",
+    "SceneCostModel",
+    "append_entry",
+    "entry_from_payload",
+    "fit_cost_model",
+    "format_plan",
+    "format_trend_table",
+    "load_history",
+    "observation_from_run",
+    "plan_capacity",
+    "profile_demo_scene",
+    "render_dashboard",
+    "run_demo_ops",
+    "sparkline",
+    "trend_rows",
+    "validate_plan",
+    "wall_s_per_ray_from_trace",
+]

@@ -1,0 +1,139 @@
+"""Bench-history log and speedup trends over ``BENCH_nerf.json`` runs.
+
+The perf harness (:mod:`repro.perf`) gates each change against one
+committed baseline, but a single baseline cannot answer "has
+``render_frame`` been eroding for five PRs?".  This module keeps an
+**append-only JSONL log** of bench payloads (one line per recorded run:
+timestamp, revision, and the payload's per-mode speedups) and renders a
+trend table — first/latest/best speedup per bench with an ASCII
+sparkline — consumed by the ops dashboard (``runner top``) and the
+``tools/bench_history.py`` CLI.
+
+The log is append-only by construction: :func:`append_entry` only ever
+opens the file in ``"a"`` mode, and entries carry everything needed to
+re-render trends without consulting git.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: Default history log, committed at the repo root next to the baseline.
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+
+#: Glyphs used for the trend sparkline (low -> high).
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def entry_from_payload(payload: dict, rev: str = None, timestamp: str = None) -> dict:
+    """Build one history entry from a bench payload (``BENCH_nerf.json``).
+
+    Keeps only the per-mode ``speedup`` ratios (the machine-portable
+    quantity the regression gate also compares) plus provenance.
+    """
+    modes = {}
+    for mode, benches in payload.get("modes", {}).items():
+        modes[mode] = {
+            name: float(entry["speedup"])
+            for name, entry in sorted(benches.items())
+            if "speedup" in entry
+        }
+    return {
+        "timestamp": timestamp,
+        "rev": rev,
+        "numpy": payload.get("numpy"),
+        "modes": modes,
+    }
+
+
+def append_entry(history_path: str, entry: dict) -> None:
+    """Append one entry to the JSONL log (append-only: mode ``"a"``)."""
+    with open(history_path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def load_history(history_path: str) -> list:
+    """All logged entries, oldest first; missing file -> empty list.
+
+    Corrupt lines (a crashed writer, a merge artifact) are skipped
+    rather than poisoning the whole log.
+    """
+    if not os.path.exists(history_path):
+        return []
+    entries = []
+    with open(history_path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict) and "modes" in entry:
+                entries.append(entry)
+    return entries
+
+
+def trend_rows(entries, mode: str = "full") -> list:
+    """Per-bench trend over the history, for one bench mode.
+
+    Each row: ``{"bench", "runs", "first", "latest", "best",
+    "delta_pct", "history"}`` where ``delta_pct`` is the latest speedup
+    relative to the best ever seen (0 when at the high-water mark,
+    negative when eroded) and ``history`` is the raw speedup series.
+    """
+    series = {}
+    for entry in entries:
+        for bench, speedup in entry.get("modes", {}).get(mode, {}).items():
+            series.setdefault(bench, []).append(float(speedup))
+    rows = []
+    for bench in sorted(series):
+        values = series[bench]
+        best = max(values)
+        rows.append(
+            {
+                "bench": bench,
+                "runs": len(values),
+                "first": values[0],
+                "latest": values[-1],
+                "best": best,
+                "delta_pct": (
+                    (values[-1] - best) / best * 100.0 if best else 0.0
+                ),
+                "history": values,
+            }
+        )
+    return rows
+
+
+def sparkline(values, width: int = 12) -> str:
+    """ASCII sparkline of a speedup series (most recent ``width`` runs)."""
+    values = list(values)[-width:]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[3] * len(values)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int((v - lo) * scale)] for v in values)
+
+
+def format_trend_table(rows, mode: str = "full") -> str:
+    """Aligned text trend table (what ``runner top`` and the CLI print)."""
+    if not rows:
+        return f"bench trends ({mode}): no history recorded"
+    header = (
+        f"{'bench':22s} {'runs':>4s} {'first':>7s} {'latest':>7s} "
+        f"{'best':>7s} {'vs best':>8s}  trend"
+    )
+    lines = [f"bench trends ({mode} mode)", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['bench']:22s} {row['runs']:>4d} "
+            f"{row['first']:>6.2f}x {row['latest']:>6.2f}x "
+            f"{row['best']:>6.2f}x {row['delta_pct']:>+7.1f}%  "
+            f"{sparkline(row['history'])}"
+        )
+    return "\n".join(lines)

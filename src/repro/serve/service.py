@@ -285,6 +285,16 @@ class RenderService:
             tel.metrics.gauge("serve.queue.rays").set(
                 float(self.scheduler.queued_rays())
             )
+            tel.metrics.gauge("serve.queue.slices").set(
+                float(self.scheduler.queued_slices())
+            )
+            tel.metrics.gauge("serve.utilization").set(
+                self.hardware_busy_s / self.now_s if self.now_s > 0 else 0.0
+            )
+            if tel.publisher is not None:
+                # The ops plane samples on the *service* clock, so queue
+                # and rate dynamics line up with simulated time.
+                tel.publisher.maybe_publish(self.now_s)
 
     def _charge_hardware(self, scene: str, trace, billed_samples: float) -> float:
         """Simulated board time for one dispatch.

@@ -10,6 +10,7 @@ counts.  ``format_slo_report`` renders the table the CI smoke job greps.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -111,6 +112,32 @@ class SLOTracker:
             "completed": self.completed,
             "statuses": self.status_counts(),
             "classes": [self.class_stats(p) for p in classes],
+        }
+
+    def to_payload(self) -> dict:
+        """Machine-readable JSON form of the attainment report (schema 1).
+
+        Same content as :meth:`summary` plus a ``schema`` version tag,
+        with every NaN (empty-class percentiles, undefined attainment)
+        replaced by ``None`` so the payload survives ``json.dumps`` and
+        downstream consumers (the ops dashboard, ``capacity_study``)
+        never have to guard against NaN arithmetic.  The greppable text
+        report (:func:`format_slo_report`) is unchanged.
+        """
+        def _clean(value):
+            if isinstance(value, float) and math.isnan(value):
+                return None
+            return value
+
+        summary = self.summary()
+        return {
+            "schema": 1,
+            "completed": summary["completed"],
+            "statuses": dict(summary["statuses"]),
+            "classes": [
+                {key: _clean(value) for key, value in stats.items()}
+                for stats in summary["classes"]
+            ],
         }
 
 

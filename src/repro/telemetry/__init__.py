@@ -48,6 +48,7 @@ from .metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
     NULL_METRICS,
+    SnapshotPublisher,
 )
 from .tracing import NullTracer, NULL_TRACER, Span, Tracer
 
@@ -65,6 +66,7 @@ __all__ = [
     "ON_DIVERGENCE",
     "ON_ITERATION",
     "ON_MODULE_SIMULATED",
+    "SnapshotPublisher",
     "Span",
     "TelemetrySession",
     "Tracer",
@@ -98,6 +100,27 @@ class TelemetrySession:
         )
         self.hooks = hooks if hooks is not None else HookDispatcher()
         self.enabled = enabled
+        #: Optional :class:`~repro.telemetry.metrics.SnapshotPublisher`;
+        #: instrumented loops feed it only inside their ``enabled``
+        #: branches, so the disabled session never pays for it.
+        self.publisher = None
+
+    def attach_publisher(
+        self, interval_s: float = 1.0, capacity: int = 256
+    ) -> SnapshotPublisher:
+        """Attach a periodic metrics-snapshot publisher to this session.
+
+        Returns the publisher; instrumentation sites (serve dispatch
+        loop, trainer step) call its ``maybe_publish`` whenever the
+        session is enabled.  Attaching on a disabled session raises —
+        there would be nothing to sample.
+        """
+        if not self.enabled:
+            raise ValueError("cannot attach a publisher to a disabled session")
+        self.publisher = SnapshotPublisher(
+            self.metrics, interval_s=interval_s, capacity=capacity
+        )
+        return self.publisher
 
     def summary(self) -> dict:
         """JSON-serializable digest: metrics snapshot + span aggregates.

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import math
 import threading
+import time
+from collections import deque
 
 
 class Counter:
@@ -97,8 +99,17 @@ class Histogram:
 
     def observe(self, value: float, n: int = 1) -> None:
         """Record ``value``; ``n`` collapses repeated identical samples
-        (e.g. a pre-binned per-ray count distribution) into one call."""
+        (e.g. a pre-binned per-ray count distribution) into one call.
+
+        Non-finite observations are rejected: a NaN or infinity would
+        poison every percentile downstream, so it fails loudly at the
+        recording site instead.
+        """
         value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"histogram {self.name!r} observed non-finite value {value!r}"
+            )
         idx = self._bucket(value)
         with self._lock:
             self._counts[idx] = self._counts.get(idx, 0) + n
@@ -118,19 +129,35 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Approximate the ``q``-th percentile (``q`` in [0, 100])."""
+        """Approximate the ``q``-th percentile (``q`` in [0, 100]).
+
+        Edge cases are always defined, never NaN: an empty histogram
+        reports ``0.0`` (matching :meth:`summary`'s zero-filled form),
+        a single observation — or any population of identical values —
+        reports that exact value for every ``q``, and ``q`` of exactly 0
+        or 100 report the observed min/max rather than a bucket estimate.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError("q must be in [0, 100]")
         with self._lock:
             if self.count == 0:
                 return 0.0
+            if self.min == self.max:
+                return self.min  # single sample / identical population
+            if q == 0.0:
+                return self.min
+            if q == 100.0:
+                return self.max
             target = q / 100.0 * self.count
             seen = 0
             for idx in sorted(self._counts):
                 seen += self._counts[idx]
                 if seen >= target:
                     if idx < 0:
-                        return max(self.min, 0.0)
+                        # Underflow bucket covers (-inf, min_bound): clamp
+                        # zero into the observed range so an all-negative
+                        # population never reports a value it did not see.
+                        return min(max(0.0, self.min), self.max)
                     lower = self.min_bound * self.growth ** idx
                     upper = lower * self.growth
                     estimate = math.sqrt(lower * upper)
@@ -213,6 +240,80 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._lock:
             self._instruments.clear()
+
+
+class SnapshotPublisher:
+    """Periodic metrics-snapshot ring buffer feeding the live ops plane.
+
+    Instrumented loops (the serve dispatch loop, the trainer step) call
+    :meth:`maybe_publish` with their own clock — the serve subsystem
+    passes its *virtual* service clock, the trainer passes nothing and
+    gets wall time — and the publisher samples the registry at most once
+    per ``interval_s``, keeping the last ``capacity`` snapshots.  Each
+    snapshot is the registry's plain-JSON :meth:`MetricsRegistry.snapshot`
+    dict plus a ``"t_s"`` timestamp, which is exactly what the dashboard
+    (:mod:`repro.obs.dashboard`) differentiates into rates.
+
+    The publisher only ever *reads* instruments, so attaching one cannot
+    change any recorded value, and it lives behind
+    ``TelemetrySession.publisher`` (default ``None``) so the disabled
+    telemetry path never touches it.
+    """
+
+    def __init__(self, registry, interval_s: float = 1.0, capacity: int = 256):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.registry = registry
+        self.interval_s = interval_s
+        self.capacity = capacity
+        self._ring = deque(maxlen=capacity)
+        self._last_t = None
+        self._lock = threading.Lock()
+
+    def maybe_publish(self, now_s: float = None):
+        """Publish a snapshot if ``interval_s`` has elapsed since the last.
+
+        ``now_s`` is the caller's clock (virtual seconds for the serving
+        stack); ``None`` falls back to ``time.monotonic()``.  Returns the
+        new snapshot dict, or ``None`` when the interval has not elapsed.
+        """
+        now_s = time.monotonic() if now_s is None else float(now_s)
+        with self._lock:
+            if self._last_t is not None and now_s - self._last_t < self.interval_s:
+                return None
+        return self.publish(now_s)
+
+    def publish(self, now_s: float = None) -> dict:
+        """Unconditionally sample the registry and append to the ring."""
+        now_s = time.monotonic() if now_s is None else float(now_s)
+        snapshot = self.registry.snapshot()
+        snapshot["t_s"] = now_s
+        with self._lock:
+            self._ring.append(snapshot)
+            self._last_t = now_s
+        return snapshot
+
+    def history(self) -> list:
+        """All retained snapshots, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def latest(self):
+        """The most recent snapshot (``None`` before the first publish)."""
+        with self._lock:
+            return self._ring[-1] if self._ring else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        """Drop all retained snapshots and reset the interval timer."""
+        with self._lock:
+            self._ring.clear()
+            self._last_t = None
 
 
 class _NullInstrument:

@@ -22,7 +22,8 @@ def test_registry_complete():
     assert set(runner.REGISTRY) >= set(FAST_EXPERIMENTS)
     assert {"table2", "fig13a", "tensorf_adaptation"} <= set(runner.REGISTRY)
     assert "serving_study" in runner.REGISTRY
-    assert len(runner.REGISTRY) == 26
+    assert "capacity_study" in runner.REGISTRY
+    assert len(runner.REGISTRY) == 27
 
 
 def test_unknown_experiment_raises():

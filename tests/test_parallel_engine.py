@@ -239,6 +239,54 @@ def test_merge_metric_snapshots():
     assert h["p50"] == 4.0  # count-weighted average of 2.0 and 6.0
 
 
+def test_merge_histograms_match_pooled_sample_oracle():
+    """Count-weighted histogram merge vs the pooled-sample ground truth.
+
+    Build real log-scale histograms over three shards of one
+    distribution (the realistic pool case: every worker runs the same
+    workload), merge their snapshots, and compare against exact numpy
+    percentiles of the pooled samples.  count/sum/mean/min/max must be
+    exact; percentiles within the log-bucket approximation error.
+    """
+    import numpy as np
+
+    from repro.telemetry.metrics import MetricsRegistry
+
+    rng = np.random.default_rng(7)
+    shards = [rng.lognormal(0.0, 1.0, size=n) for n in (500, 2000, 8000)]
+    snaps = []
+    for shard in shards:
+        registry = MetricsRegistry()
+        registry.histogram("h").observe_many(shard.tolist())
+        snaps.append(registry.snapshot())
+    merged = parallel.merge_metric_snapshots(snaps)["histograms"]["h"]
+    pooled = np.concatenate(shards)
+    assert merged["count"] == pooled.size
+    assert merged["sum"] == pytest.approx(float(pooled.sum()), rel=1e-9)
+    assert merged["mean"] == pytest.approx(float(pooled.mean()), rel=1e-9)
+    assert merged["min"] == pytest.approx(float(pooled.min()))
+    assert merged["max"] == pytest.approx(float(pooled.max()))
+    for key in ("p50", "p95", "p99"):
+        exact = float(np.percentile(pooled, float(key[1:])))
+        assert merged[key] == pytest.approx(exact, rel=0.25), key
+
+
+def test_merge_histogram_percentiles_weighted_by_count():
+    """A tiny shard must not drag the merged percentile toward itself."""
+    from repro.telemetry.metrics import MetricsRegistry
+
+    snaps = []
+    for value, n in ((1.0, 100), (100.0, 9900)):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(value, n=n)
+        snaps.append(registry.snapshot())
+    merged = parallel.merge_metric_snapshots(snaps)["histograms"]["h"]
+    # Pooled p50 is 100.0; an unweighted average of shard medians would
+    # report 50.5.  Count weighting lands within 2% of the truth.
+    assert merged["p50"] == pytest.approx(100.0, rel=0.02)
+    assert merged["count"] == 10_000
+
+
 def test_merge_span_aggregates():
     a = {"s": {"count": 2, "total_s": 2.0, "mean_s": 1.0}}
     b = {"s": {"count": 2, "total_s": 6.0, "mean_s": 3.0},

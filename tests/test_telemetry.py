@@ -187,6 +187,122 @@ def test_histogram_edge_cases():
         hist.percentile(101.0)
 
 
+def test_histogram_empty_percentiles_defined():
+    """Empty histogram: every quantile is 0.0, never NaN or a crash."""
+    hist = Histogram("h")
+    for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+        value = hist.percentile(q)
+        assert value == 0.0 and value == value  # defined, not NaN
+    summ = hist.summary()
+    assert summ == {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_histogram_single_sample_percentiles_exact():
+    """One observation: p50/p95/p99 all report that exact value, not a
+    bucket-midpoint estimate the histogram never saw."""
+    hist = Histogram("h")
+    hist.observe(3.7)
+    for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+        assert hist.percentile(q) == pytest.approx(3.7, abs=0.0)
+    summ = hist.summary()
+    assert summ["p50"] == summ["p95"] == summ["p99"] == pytest.approx(3.7)
+
+
+def test_histogram_identical_population_percentiles_exact():
+    """Many identical observations behave like the single-sample case."""
+    hist = Histogram("h")
+    hist.observe(0.25, n=1000)
+    for q in (50.0, 95.0, 99.0):
+        assert hist.percentile(q) == pytest.approx(0.25, abs=0.0)
+
+
+def test_histogram_underflow_population_clamped():
+    """All-underflow observations never report a value outside [min, max]."""
+    hist = Histogram("h")
+    hist.observe(0.0, n=5)
+    assert hist.percentile(50.0) == 0.0
+    hist2 = Histogram("h2")
+    hist2.observe(-2.0)
+    hist2.observe(-1.0)
+    p50 = hist2.percentile(50.0)
+    assert hist2.min <= p50 <= hist2.max
+
+
+def test_histogram_rejects_non_finite():
+    hist = Histogram("h")
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            hist.observe(bad)
+    assert hist.count == 0
+
+
+def test_snapshot_publisher_throttles_on_interval():
+    from repro.telemetry.metrics import SnapshotPublisher
+
+    registry = MetricsRegistry()
+    pub = SnapshotPublisher(registry, interval_s=1.0, capacity=8)
+    registry.counter("c").inc()
+    assert pub.maybe_publish(now_s=0.0) is not None  # first always fires
+    assert pub.maybe_publish(now_s=0.5) is None  # within interval
+    registry.counter("c").inc()
+    snap = pub.maybe_publish(now_s=1.0)
+    assert snap is not None and snap["counters"]["c"] == 2.0
+    assert [s["t_s"] for s in pub.history()] == [0.0, 1.0]
+    assert pub.latest()["t_s"] == 1.0 and len(pub) == 2
+    pub.clear()
+    assert pub.history() == [] and pub.latest() is None
+
+
+def test_snapshot_publisher_ring_buffer_bounds_memory():
+    from repro.telemetry.metrics import SnapshotPublisher
+
+    registry = MetricsRegistry()
+    pub = SnapshotPublisher(registry, interval_s=1.0, capacity=4)
+    for i in range(10):
+        pub.publish(now_s=float(i))
+    assert len(pub) == 4
+    assert [s["t_s"] for s in pub.history()] == [6.0, 7.0, 8.0, 9.0]
+
+
+def test_attach_publisher_requires_enabled_session():
+    with pytest.raises(ValueError):
+        telemetry.TelemetrySession(enabled=False).attach_publisher()
+    with telemetry.session() as tel:
+        pub = tel.attach_publisher(interval_s=0.5)
+        assert tel.publisher is pub
+
+
+def test_serve_publishes_snapshots_on_service_clock():
+    """The render service drives the publisher with simulated time."""
+    from repro.serve import (
+        RenderService,
+        build_demo_registry,
+        demo_camera,
+        run_open_loop,
+    )
+
+    with telemetry.session() as tel:
+        publisher = tel.attach_publisher(interval_s=0.05)
+        registry = build_demo_registry(n_scenes=1)
+        service = RenderService(registry)
+        run_open_loop(
+            service,
+            [s["name"] for s in registry.scenes()],
+            rate_hz=200.0,
+            duration_s=0.5,
+            camera=demo_camera(8, 8),
+            rng=np.random.default_rng(0),
+        )
+        history = publisher.history()
+    assert len(history) >= 2
+    times = [s["t_s"] for s in history]
+    assert times == sorted(times)  # service clock, monotone
+    assert all(
+        "serve.requests.completed" in s["counters"] for s in history[1:]
+    )
+
+
 def test_null_registry_is_noop():
     null = telemetry.NULL_METRICS
     null.counter("x").inc(5)

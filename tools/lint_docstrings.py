@@ -3,7 +3,7 @@
 
 Usage::
 
-    python tools/lint_docstrings.py [package ...]   # default: repro.parallel repro.experiments repro.serve repro.perf
+    python tools/lint_docstrings.py [package ...]   # default: repro.parallel repro.experiments repro.serve repro.perf repro.obs
 
 Walks every ``.py`` file of the named packages (via the AST — nothing is
 imported, so the lint is safe on broken code) and reports each *public*
@@ -30,6 +30,7 @@ DEFAULT_PACKAGES = (
     "repro.experiments",
     "repro.serve",
     "repro.perf",
+    "repro.obs",
 )
 
 # Runnable straight from a checkout: the in-tree `src/` layout sits next
