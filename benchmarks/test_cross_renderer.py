@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the cross-renderer (ngp vs tensorf) study."""
+
+from helpers import run_and_report
+
+
+def test_cross_renderer(benchmark):
+    result = run_and_report(benchmark, "cross_renderer", quick=True)
+    s = result.summary
+    # Served frames must match each renderer's own offline render
+    # bit-for-bit, and both renderers must have actually trained.
+    assert s["served_bit_identical"]
+    assert s["both_renderers_trained"]
+    renderers = {row["renderer"] for row in result.rows}
+    assert renderers == {"ngp", "tensorf"}

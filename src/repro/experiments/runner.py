@@ -29,6 +29,7 @@ from .. import telemetry
 from . import (
     capacity_study,
     chiplet_scaling,
+    cross_renderer,
     dataset_stats,
     ert_study,
     fault_sweep,
@@ -85,6 +86,7 @@ REGISTRY = {
     "ert_study": (ert_study, "extension: early ray termination"),
     "fault_sweep": (fault_sweep, "robustness: faults & graceful degradation"),
     "serving_study": (serving_study, "serving: latency-throughput & SLO attainment"),
+    "cross_renderer": (cross_renderer, "pipeline: ngp vs tensorf quality/speed/SLO"),
     "capacity_study": (capacity_study, "ops: cost models -> capacity plans, validated"),
     "warping_study": (warping_study, "Table III fn. 1: warping vs motion"),
     "dataset_stats": (dataset_stats, "DESIGN.md: substitution statistics"),

@@ -60,7 +60,14 @@ from .early_termination import (
 from .checkpoint import save_model, load_model, deployment_payload_bytes
 from .gradcheck import check_model_gradients, GradCheckReport
 from .moe import MoENeRF, MoEConfig, MoETrainer, dominance_map, dominance_ascii
-from .tensorf import DenseGridField, DenseGridConfig
+from .tensorf import (
+    DenseGridField,
+    DenseGridConfig,
+    PlaneLineEncoding,
+    PlaneLineTrace,
+    TensoRFConfig,
+    TensoRFModel,
+)
 
 __all__ = [
     "Camera",
@@ -135,4 +142,8 @@ __all__ = [
     "dominance_ascii",
     "DenseGridField",
     "DenseGridConfig",
+    "PlaneLineEncoding",
+    "PlaneLineTrace",
+    "TensoRFConfig",
+    "TensoRFModel",
 ]

@@ -29,6 +29,7 @@ from .hash_encoding import HashEncodingConfig
 from .model import InstantNGPModel, ModelConfig
 from .moe import MoEConfig, MoENeRF
 from .occupancy import OccupancyGrid
+from .tensorf import TensoRFConfig, TensoRFModel
 
 _FORMAT_VERSION = 1
 
@@ -69,6 +70,16 @@ def _model_config_dict(config: ModelConfig) -> dict:
     }
 
 
+def _tensorf_config_dict(config: TensoRFConfig) -> dict:
+    return {
+        "resolution": config.resolution,
+        "n_components": config.n_components,
+        "hidden_width": config.hidden_width,
+        "geo_features": config.geo_features,
+        "density_bias": config.density_bias,
+    }
+
+
 def _model_config_from_dict(data: dict) -> ModelConfig:
     return ModelConfig(
         encoding=HashEncodingConfig(**data["encoding"]),
@@ -82,7 +93,8 @@ def _model_config_from_dict(data: dict) -> ModelConfig:
 def save_model(model, path, occupancy: OccupancyGrid = None, normalizer: SceneNormalizer = None) -> int:
     """Write a model checkpoint; returns the payload size in bytes.
 
-    Accepts :class:`InstantNGPModel` or :class:`MoENeRF`.  When
+    Accepts :class:`InstantNGPModel`, :class:`TensoRFModel`, or
+    :class:`MoENeRF`.  When
     ``occupancy`` is given, the grid's EMA statistics *and* its binary
     mask are stored verbatim (the mask is not always derivable from the
     EMA — trainers force it full when it empties out), so a load renders
@@ -103,6 +115,12 @@ def save_model(model, path, occupancy: OccupancyGrid = None, normalizer: SceneNo
             "format": _FORMAT_VERSION,
             "kind": "instant-ngp",
             "model": _model_config_dict(model.config),
+        }
+    elif isinstance(model, TensoRFModel):
+        meta = {
+            "format": _FORMAT_VERSION,
+            "kind": "tensorf",
+            "model": _tensorf_config_dict(model.config),
         }
     else:
         raise TypeError(f"cannot checkpoint a {type(model).__name__}")
@@ -164,6 +182,10 @@ def _build_model(path, meta: dict, params: dict):
     """Instantiate the checkpointed architecture and load its weights."""
     if meta["kind"] == "instant-ngp":
         model = InstantNGPModel(_model_config_from_dict(meta["model"]))
+        model.load_parameters(params)
+        return model
+    if meta["kind"] == "tensorf":
+        model = TensoRFModel(TensoRFConfig(**meta["model"]))
         model.load_parameters(params)
         return model
     if meta["kind"] == "moe":

@@ -14,6 +14,34 @@ from .sampling import RayMarcher, SampleBatch
 from .volume_rendering import composite
 
 
+def scrub_rendered_colors(colors: np.ndarray, background: float) -> np.ndarray:
+    """Clamp-and-flag non-finite pixels when fault injection is active.
+
+    A corrupted sample (e.g. an injected SRAM bit flip driving sigma to
+    inf) degrades its own pixel to background instead of poisoning the
+    whole image and every PSNR after it.  No-op (and zero-cost) outside
+    an active fault scope.  Shared by :func:`render_rays` and the staged
+    :class:`repro.pipeline.Renderer` so both paths degrade identically.
+    """
+    if faults.get_active() is None:
+        return colors
+    colors, n_flagged = scrub_colors(colors, background)
+    if n_flagged:
+        from .. import telemetry
+
+        log = faults.get_log()
+        if log is not None:
+            log.record(
+                "renderer", f"clamped {n_flagged} non-finite pixel values"
+            )
+        tel = telemetry.get_session()
+        if tel.enabled:
+            tel.metrics.counter("robustness.render.nonfinite_clamped").inc(
+                n_flagged
+            )
+    return colors
+
+
 def render_rays(
     model,
     origins: np.ndarray,
@@ -60,24 +88,7 @@ def render_rays(
             background=background,
         )
         colors = result.colors
-    if faults.get_active() is not None:
-        # Clamp-and-flag: a corrupted sample (e.g. an injected SRAM bit
-        # flip driving sigma to inf) degrades its own pixel to background
-        # instead of poisoning the whole image and every PSNR after it.
-        colors, n_flagged = scrub_colors(colors, background)
-        if n_flagged:
-            from .. import telemetry
-
-            log = faults.get_log()
-            if log is not None:
-                log.record(
-                    "renderer", f"clamped {n_flagged} non-finite pixel values"
-                )
-            tel = telemetry.get_session()
-            if tel.enabled:
-                tel.metrics.counter("robustness.render.nonfinite_clamped").inc(
-                    n_flagged
-                )
+    colors = scrub_rendered_colors(colors, background)
     return colors, batch, result
 
 

@@ -25,6 +25,28 @@ DEFAULT_HISTORY = "BENCH_history.jsonl"
 #: Glyphs used for the trend sparkline (low -> high).
 _SPARK = "▁▂▃▄▅▆▇█"
 
+#: Kernels shared by every renderer (compositing scatter, occupancy,
+#: trace accounting) — grouped separately from renderer-owned benches.
+_COMMON_BENCHES = frozenset(
+    {"scatter_add", "occupancy_init", "trace_pair_durations"}
+)
+
+
+def renderer_of_bench(bench: str) -> str:
+    """Renderer family a bench name belongs to.
+
+    History entries predating renderer tags only carry bench names, so
+    grouping works off the naming convention: ``tensorf_*`` benches
+    belong to the ``tensorf`` renderer, the shared kernels to
+    ``common``, everything else (hash encoding, the original e2e pair)
+    to ``ngp``.
+    """
+    if bench.startswith("tensorf_"):
+        return "tensorf"
+    if bench in _COMMON_BENCHES:
+        return "common"
+    return "ngp"
+
 
 def entry_from_payload(payload: dict, rev: str = None, timestamp: str = None) -> dict:
     """Build one history entry from a bench payload (``BENCH_nerf.json``).
@@ -95,6 +117,7 @@ def trend_rows(entries, mode: str = "full") -> list:
         rows.append(
             {
                 "bench": bench,
+                "renderer": renderer_of_bench(bench),
                 "runs": len(values),
                 "first": values[0],
                 "latest": values[-1],
@@ -121,19 +144,30 @@ def sparkline(values, width: int = 12) -> str:
 
 
 def format_trend_table(rows, mode: str = "full") -> str:
-    """Aligned text trend table (what ``runner top`` and the CLI print)."""
+    """Aligned text trend table (what ``runner top`` and the CLI print).
+
+    Rows are grouped by renderer family (``ngp`` / ``tensorf`` /
+    ``common``), one subheader per group, so per-renderer erosion is
+    visible at a glance.
+    """
     if not rows:
         return f"bench trends ({mode}): no history recorded"
     header = (
-        f"{'bench':22s} {'runs':>4s} {'first':>7s} {'latest':>7s} "
+        f"{'bench':24s} {'runs':>4s} {'first':>7s} {'latest':>7s} "
         f"{'best':>7s} {'vs best':>8s}  trend"
     )
     lines = [f"bench trends ({mode} mode)", header, "-" * len(header)]
+    groups = {}
     for row in rows:
-        lines.append(
-            f"{row['bench']:22s} {row['runs']:>4d} "
-            f"{row['first']:>6.2f}x {row['latest']:>6.2f}x "
-            f"{row['best']:>6.2f}x {row['delta_pct']:>+7.1f}%  "
-            f"{sparkline(row['history'])}"
-        )
+        renderer = row.get("renderer", renderer_of_bench(row["bench"]))
+        groups.setdefault(renderer, []).append(row)
+    for renderer in sorted(groups):
+        lines.append(f"renderer: {renderer}")
+        for row in groups[renderer]:
+            lines.append(
+                f"  {row['bench']:22s} {row['runs']:>4d} "
+                f"{row['first']:>6.2f}x {row['latest']:>6.2f}x "
+                f"{row['best']:>6.2f}x {row['delta_pct']:>+7.1f}%  "
+                f"{sparkline(row['history'])}"
+            )
     return "\n".join(lines)

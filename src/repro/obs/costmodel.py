@@ -237,6 +237,12 @@ class SceneCostModel:
     wall_s_per_ray: FittedStat = None
     cycles_per_sample: dict = field(default_factory=dict)
     samples_per_ray: dict = None
+    #: Renderer family (``repro.pipeline`` name) the scene was profiled
+    #: under.  Costs are renderer-specific — a model fitted for one
+    #: renderer must not price another — so the planner and dashboards
+    #: carry the tag through.  Defaults to ``"ngp"`` (also what schema-1
+    #: payloads written before the tag existed load as).
+    renderer: str = "ngp"
     #: Fixed per-request latency beyond pure board time, measured at low
     #: load (batching max-wait pooling, comm round trips).  The planner
     #: subtracts it from the SLO budget before applying the queueing tail
@@ -264,6 +270,7 @@ class SceneCostModel:
         return {
             "schema": SCHEMA_VERSION,
             "scene": self.scene,
+            "renderer": self.renderer,
             "sim_s_per_ray": self.sim_s_per_ray.to_payload(),
             "wall_s_per_ray": (
                 self.wall_s_per_ray.to_payload()
@@ -299,6 +306,7 @@ class SceneCostModel:
         overhead = payload.get("overhead_s")
         return cls(
             scene=payload["scene"],
+            renderer=payload.get("renderer", "ngp"),
             sim_s_per_ray=FittedStat.from_payload(payload["sim_s_per_ray"]),
             wall_s_per_ray=(
                 FittedStat.from_payload(wall) if wall is not None else None
@@ -335,12 +343,15 @@ def fit_cost_model(
     observations,
     wall_ray_samples=None,
     meta: dict = None,
+    renderer: str = "ngp",
 ) -> SceneCostModel:
     """Fit a :class:`SceneCostModel` from repeated-run observations.
 
     ``observations`` is a non-empty sequence of :class:`CostObservation`;
     ``wall_ray_samples`` optionally adds trace-derived wall s/ray samples
     (:func:`wall_s_per_ray_from_trace`) to the snapshot-derived ones.
+    ``renderer`` tags the fitted model with the renderer family the runs
+    were served by (costs do not transfer across renderers).
     """
     observations = list(observations)
     if not observations:
@@ -375,6 +386,7 @@ def fit_cost_model(
     meta.setdefault("n_runs", len(observations))
     return SceneCostModel(
         scene=scene,
+        renderer=renderer,
         sim_s_per_ray=sim,
         wall_s_per_ray=wall,
         cycles_per_sample=cycles,
@@ -438,6 +450,9 @@ def profile_demo_scene(
     # Pilot: one closed-loop frame prices the uncongested frame latency,
     # which sets the probing rate for the measurement runs.
     pilot = _fresh_service()
+    renderer = next(
+        s["renderer"] for s in pilot.registry.scenes() if s["name"] == scene
+    )
     pilot_report = run_closed_loop(
         pilot, scene, n_frames=1, camera=camera, hw_scale=hw_scale
     )
@@ -477,6 +492,7 @@ def profile_demo_scene(
     return fit_cost_model(
         scene,
         observations,
+        renderer=renderer,
         meta={
             "hw_scale": hw_scale,
             "probe": probe,

@@ -67,11 +67,13 @@ def format_report(payload: dict) -> str:
     """Human-readable table of one bench payload."""
     lines = [
         f"perf bench ({payload['mode']} mode, numpy {payload['numpy']})",
-        f"{'bench':<22} {'ref ms':>10} {'opt ms':>10} {'speedup':>9}",
+        f"{'bench':<24} {'renderer':<9} {'ref ms':>10} {'opt ms':>10} "
+        f"{'speedup':>9}",
     ]
     for name, record in payload["benches"].items():
         lines.append(
-            f"{name:<22} {record['ref_ms']:>10.2f} {record['opt_ms']:>10.2f} "
+            f"{name:<24} {record.get('renderer', '-'):<9} "
+            f"{record['ref_ms']:>10.2f} {record['opt_ms']:>10.2f} "
             f"{record['speedup']:>8.2f}x"
         )
     return "\n".join(lines)

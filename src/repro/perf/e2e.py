@@ -1,12 +1,14 @@
-"""End-to-end benches: a real train iteration and a real rendered frame.
+"""End-to-end benches: real train iterations and real rendered frames.
 
-The kernel benches isolate single hot loops; these two measure the whole
+The kernel benches isolate single hot loops; these measure the whole
 pipeline the paper characterizes (Figs. 9/10): Stage I sampling, Stage
-II hash gather + MLP, Stage III compositing, optimizer step.  The
-"reference" side swaps the frozen pre-overhaul encoding
-(:class:`~repro.perf.reference.ReferenceHashEncoding`) into an otherwise
-identical trainer/renderer, so the ratio is attributable to the kernel
-overhaul alone.
+II encoding gather + MLP, Stage III compositing, optimizer step.  The
+"reference" side swaps the frozen naive encoding
+(:class:`~repro.perf.reference.ReferenceHashEncoding` for the ``ngp``
+renderer, :class:`~repro.perf.reference.ReferencePlaneLineEncoding` for
+``tensorf``) into an otherwise identical trainer/renderer, so the ratio
+is attributable to the encoding kernels alone.  Each record carries a
+``renderer`` tag; the bench gate and trend panels group on it.
 """
 
 from __future__ import annotations
@@ -19,8 +21,9 @@ from ..nerf.hash_encoding import HashEncodingConfig
 from ..nerf.occupancy import OccupancyGrid
 from ..nerf.renderer import render_image
 from ..nerf.sampling import RayMarcher, SamplerConfig
+from ..nerf.tensorf import TensoRFConfig, TensoRFModel
 from ..nerf.trainer import Trainer, TrainerConfig
-from .reference import ReferenceHashEncoding
+from .reference import ReferenceHashEncoding, ReferencePlaneLineEncoding
 from .timing import PairedTiming, time_callable
 
 #: Bench RNG/model seed — fixed so recorded numbers are reproducible.
@@ -48,6 +51,26 @@ def _bench_model(smoke: bool, reference_kernels: bool) -> InstantNGPModel:
     return model
 
 
+def _bench_tensorf_model(smoke: bool, reference_kernels: bool) -> TensoRFModel:
+    """A mid-size TensoRF field, optionally with the naive VM lookup."""
+    config = TensoRFConfig(
+        resolution=24 if smoke else 48,
+        n_components=4 if smoke else 8,
+        hidden_width=32,
+        geo_features=15,
+    )
+    model = TensoRFModel(config, seed=SEED)
+    if reference_kernels:
+        encoding = ReferencePlaneLineEncoding(
+            config.resolution,
+            config.n_components,
+            rng=np.random.default_rng(SEED),
+        )
+        encoding.load_parameters(model.encoding.parameters())
+        model.encoding = encoding
+    return model
+
+
 def _bench_dataset(smoke: bool):
     return synthetic.make_dataset(
         "mic",
@@ -58,8 +81,8 @@ def _bench_dataset(smoke: bool):
     )
 
 
-def bench_train_iteration(smoke: bool = False) -> dict:
-    """Wall time of one training step, averaged over a short run.
+def _time_train_iteration(smoke: bool, model_builder) -> PairedTiming:
+    """Time one training step for both kernel sides of a model family.
 
     Fresh trainers (same seeds) are built for each side so optimizer and
     RNG state cannot leak between the measurements.
@@ -76,7 +99,7 @@ def bench_train_iteration(smoke: bool = False) -> dict:
     )
 
     def run(reference_kernels: bool):
-        model = _bench_model(smoke, reference_kernels)
+        model = model_builder(smoke, reference_kernels)
         trainer = Trainer(
             model, dataset.cameras, dataset.images, dataset.normalizer, config
         )
@@ -87,19 +110,18 @@ def bench_train_iteration(smoke: bool = False) -> dict:
 
         return time_callable(step_all, repeats=1, warmup=0) / iters
 
-    timing = PairedTiming(ref_s=run(True), opt_s=run(False))
-    return timing.as_record()
+    return PairedTiming(ref_s=run(True), opt_s=run(False))
 
 
-def bench_render_frame(smoke: bool = False) -> dict:
-    """Wall time of one full rendered frame through :func:`render_image`."""
+def _time_render_frame(smoke: bool, model_builder) -> PairedTiming:
+    """Time one full :func:`render_image` frame for both kernel sides."""
     dataset = _bench_dataset(smoke)
     marcher = RayMarcher(SamplerConfig(max_samples=32))
     occupancy = OccupancyGrid(resolution=16)
     camera = dataset.cameras[0]
 
     def run(reference_kernels: bool) -> float:
-        model = _bench_model(smoke, reference_kernels)
+        model = model_builder(smoke, reference_kernels)
         return time_callable(
             lambda: render_image(
                 model, camera, dataset.normalizer, marcher, occupancy=occupancy
@@ -107,12 +129,37 @@ def bench_render_frame(smoke: bool = False) -> dict:
             repeats=2 if smoke else 3,
         )
 
-    timing = PairedTiming(ref_s=run(True), opt_s=run(False))
-    return timing.as_record()
+    return PairedTiming(ref_s=run(True), opt_s=run(False))
+
+
+def bench_train_iteration(smoke: bool = False) -> dict:
+    """One ``ngp`` training step, averaged over a short run."""
+    timing = _time_train_iteration(smoke, _bench_model)
+    return dict(timing.as_record(), renderer="ngp")
+
+
+def bench_render_frame(smoke: bool = False) -> dict:
+    """One full ``ngp`` rendered frame through :func:`render_image`."""
+    timing = _time_render_frame(smoke, _bench_model)
+    return dict(timing.as_record(), renderer="ngp")
+
+
+def bench_tensorf_train_iteration(smoke: bool = False) -> dict:
+    """One ``tensorf`` training step, averaged over a short run."""
+    timing = _time_train_iteration(smoke, _bench_tensorf_model)
+    return dict(timing.as_record(), renderer="tensorf")
+
+
+def bench_tensorf_render_frame(smoke: bool = False) -> dict:
+    """One full ``tensorf`` rendered frame through :func:`render_image`."""
+    timing = _time_render_frame(smoke, _bench_tensorf_model)
+    return dict(timing.as_record(), renderer="tensorf")
 
 
 #: name -> builder registry for the end-to-end benches.
 E2E_BENCHES = {
     "train_iteration": bench_train_iteration,
     "render_frame": bench_render_frame,
+    "tensorf_train_iteration": bench_tensorf_train_iteration,
+    "tensorf_render_frame": bench_tensorf_render_frame,
 }

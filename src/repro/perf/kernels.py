@@ -16,6 +16,7 @@ import numpy as np
 
 from ..nerf.hash_encoding import HashEncoding, HashEncodingConfig
 from ..nerf.occupancy import OccupancyGrid
+from ..nerf.tensorf import PlaneLineEncoding
 from ..nerf.volume_rendering import segment_sum
 from ..sim.trace import distribute_samples_over_pairs
 from . import reference
@@ -49,7 +50,7 @@ def bench_hash_forward(smoke: bool = False) -> dict:
         lambda: opt.forward(points),
         repeats=3 if smoke else 5,
     )
-    return timing.as_record()
+    return dict(timing.as_record(), renderer="ngp")
 
 
 def bench_hash_backward(smoke: bool = False) -> dict:
@@ -64,7 +65,7 @@ def bench_hash_backward(smoke: bool = False) -> dict:
         lambda: opt.backward(grad, opt_trace),
         repeats=3 if smoke else 5,
     )
-    return timing.as_record()
+    return dict(timing.as_record(), renderer="ngp")
 
 
 def bench_hash_fwd_bwd(smoke: bool = False) -> dict:
@@ -81,7 +82,53 @@ def bench_hash_fwd_bwd(smoke: bool = False) -> dict:
     timing = time_pair(
         lambda: run(ref), lambda: run(opt), repeats=3 if smoke else 5
     )
-    return timing.as_record()
+    return dict(timing.as_record(), renderer="ngp")
+
+
+def _bench_plane_line(smoke: bool) -> tuple:
+    """Shared TensoRF VM-encoding workload: ``(opt, ref, points)``."""
+    resolution, n_components = 48, 8
+    opt = PlaneLineEncoding(
+        resolution, n_components, rng=np.random.default_rng(SEED)
+    )
+    ref = reference.ReferencePlaneLineEncoding(
+        resolution, n_components, rng=np.random.default_rng(SEED)
+    )
+    # Smoke stays large enough that the optimized side is well clear of
+    # timer jitter — the speedup ratio is what the 20% gate defends, and
+    # a sub-millisecond denominator makes it noisy.
+    rng = np.random.default_rng(SEED)
+    points = rng.random((4_000 if smoke else 8_000, 3))
+    return opt, ref, points
+
+
+def bench_tensorf_forward(smoke: bool = False) -> dict:
+    """TensoRF VM-encoding forward: fused gathers vs per-point loop."""
+    opt, ref, points = _bench_plane_line(smoke)
+    timing = time_pair(
+        lambda: ref.forward(points),
+        lambda: opt.forward(points),
+        repeats=3 if smoke else 5,
+    )
+    return dict(timing.as_record(), renderer="tensorf")
+
+
+def bench_tensorf_fwd_bwd(smoke: bool = False) -> dict:
+    """TensoRF VM-encoding round trip (forward + backward) — the
+    ``tensorf`` renderer's headline kernel number, the peer of
+    ``hash_fwd_bwd`` on the ``ngp`` side."""
+    opt, ref, points = _bench_plane_line(smoke)
+    rng = np.random.default_rng(SEED + 1)
+    grad = rng.normal(size=(points.shape[0], opt.output_dim))
+
+    def run(encoding):
+        _, trace = encoding.forward(points)
+        encoding.backward(grad, trace)
+
+    timing = time_pair(
+        lambda: run(ref), lambda: run(opt), repeats=3 if smoke else 5
+    )
+    return dict(timing.as_record(), renderer="tensorf")
 
 
 def bench_scatter_add(smoke: bool = False) -> dict:
@@ -143,6 +190,8 @@ KERNEL_BENCHES = {
     "hash_forward": bench_hash_forward,
     "hash_backward": bench_hash_backward,
     "hash_fwd_bwd": bench_hash_fwd_bwd,
+    "tensorf_forward": bench_tensorf_forward,
+    "tensorf_fwd_bwd": bench_tensorf_fwd_bwd,
     "scatter_add": bench_scatter_add,
     "occupancy_init": bench_occupancy_init,
     "trace_pair_durations": bench_trace_pair_durations,

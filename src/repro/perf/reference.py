@@ -29,6 +29,7 @@ import numpy as np
 
 from ..nerf.hash_encoding import EncodingTrace, HashEncoding
 from ..nerf.occupancy import OccupancyGrid
+from ..nerf.tensorf import LINE_AXES, PLANE_AXES, PlaneLineEncoding, PlaneLineTrace
 
 
 def hash_forward_reference(encoding: HashEncoding, points: np.ndarray) -> tuple:
@@ -100,6 +101,90 @@ class ReferenceHashEncoding(HashEncoding):
     def backward(self, grad_features: np.ndarray, trace: EncodingTrace) -> np.ndarray:
         """Reference ``np.add.at`` backward (see module docstring)."""
         return hash_backward_reference(self, grad_features, trace)
+
+
+class ReferencePlaneLineEncoding(PlaneLineEncoding):
+    """A :class:`PlaneLineEncoding` running naive per-point kernels.
+
+    The unfused TensoRF VM lookup a first port would write: a Python
+    loop over sample points, each doing its own plane/line gathers and
+    the *same* corner accumulation order as the fused forward — so
+    forward features are bit-identical — and per-point ``np.add.at``
+    scatters in backward (numerically equal to the flat-bincount
+    optimized path up to summation order across points).  Drop-in
+    replacement for the end-to-end benches, same as
+    :class:`ReferenceHashEncoding`.
+    """
+
+    def forward(self, points: np.ndarray) -> tuple:
+        """Reference per-point-loop forward (see class docstring)."""
+        points = np.atleast_2d(points)
+        n = points.shape[0]
+        res = self.resolution
+        features = np.empty((n, self.output_dim), dtype=np.float64)
+        base = np.empty((n, 3), dtype=np.int64)
+        frac = np.empty((n, 3), dtype=np.float64)
+        plane_vals = [np.empty((n, self.n_components)) for _ in range(3)]
+        line_vals = [np.empty((n, self.n_components)) for _ in range(3)]
+        n_comp = self.n_components
+        for i in range(n):
+            scaled = points[i].astype(np.float64) * (res - 1)
+            cell = np.clip(np.floor(scaled).astype(np.int64), 0, res - 2)
+            offs = scaled - cell
+            base[i] = cell
+            frac[i] = offs
+            for k in range(3):
+                a, b = PLANE_AXES[k]
+                ia, ib = cell[a], cell[b]
+                fa, fb = offs[a], offs[b]
+                plane = self.factor_planes[k]
+                pv = (
+                    ((1.0 - fa) * (1.0 - fb)) * plane[ia, ib]
+                    + ((1.0 - fa) * fb) * plane[ia, ib + 1]
+                    + (fa * (1.0 - fb)) * plane[ia + 1, ib]
+                    + (fa * fb) * plane[ia + 1, ib + 1]
+                )
+                axis = LINE_AXES[k]
+                il, fl = cell[axis], offs[axis]
+                line = self.factor_lines[k]
+                lv = (1.0 - fl) * line[il] + fl * line[il + 1]
+                plane_vals[k][i] = pv
+                line_vals[k][i] = lv
+                features[i, k * n_comp : (k + 1) * n_comp] = pv * lv
+        trace = PlaneLineTrace(
+            base=base,
+            frac=frac,
+            plane_vals=plane_vals,
+            line_vals=line_vals,
+            n_points=n,
+        )
+        return features, trace
+
+    def backward(self, grad_features: np.ndarray, trace: PlaneLineTrace) -> dict:
+        """Reference per-point ``np.add.at`` backward (see class docstring)."""
+        grad_features = np.atleast_2d(grad_features)
+        if grad_features.shape != (trace.n_points, self.output_dim):
+            raise ValueError("grad_features shape mismatch with trace")
+        n_comp = self.n_components
+        grad_planes = np.zeros_like(self.factor_planes)
+        grad_lines = np.zeros_like(self.factor_lines)
+        for i in range(trace.n_points):
+            for k in range(3):
+                a, b = PLANE_AXES[k]
+                g = grad_features[i, k * n_comp : (k + 1) * n_comp]
+                gp = g * trace.line_vals[k][i]
+                gl = g * trace.plane_vals[k][i]
+                ia, ib = trace.base[i, a], trace.base[i, b]
+                fa, fb = trace.frac[i, a], trace.frac[i, b]
+                grad_planes[k, ia, ib] += ((1.0 - fa) * (1.0 - fb)) * gp
+                grad_planes[k, ia, ib + 1] += ((1.0 - fa) * fb) * gp
+                grad_planes[k, ia + 1, ib] += (fa * (1.0 - fb)) * gp
+                grad_planes[k, ia + 1, ib + 1] += (fa * fb) * gp
+                axis = LINE_AXES[k]
+                il, fl = trace.base[i, axis], trace.frac[i, axis]
+                grad_lines[k, il] += (1.0 - fl) * gl
+                grad_lines[k, il + 1] += fl * gl
+        return {"factor_planes": grad_planes, "factor_lines": grad_lines}
 
 
 def scatter_add_reference(

@@ -59,8 +59,26 @@ class PairedTiming:
 
 
 def time_pair(ref_fn, opt_fn, repeats: int = 5, warmup: int = 1) -> PairedTiming:
-    """Time ``ref_fn`` and ``opt_fn`` back to back (same process/state)."""
-    return PairedTiming(
-        ref_s=time_callable(ref_fn, repeats=repeats, warmup=warmup),
-        opt_s=time_callable(opt_fn, repeats=repeats, warmup=warmup),
-    )
+    """Time ``ref_fn`` and ``opt_fn`` interleaved (same process/state).
+
+    Repeats alternate ref/opt rather than running each side's block
+    back to back, so a transient noise window (scheduler preemption,
+    frequency scaling, a neighboring process) lands on both sides of
+    the pair instead of skewing one — the best-of estimator then keeps
+    the ratio stable even on busy machines.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    for _ in range(warmup):
+        ref_fn()
+    for _ in range(warmup):
+        opt_fn()
+    best_ref = best_opt = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ref_fn()
+        best_ref = min(best_ref, time.perf_counter() - start)
+        start = time.perf_counter()
+        opt_fn()
+        best_opt = min(best_opt, time.perf_counter() - start)
+    return PairedTiming(ref_s=best_ref, opt_s=best_opt)

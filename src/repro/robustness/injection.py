@@ -30,6 +30,13 @@ import numpy as np
 
 from .faults import SramFaultConfig, TraceFaultConfig
 
+#: Leaf parameter names stored in the fp16 feature SRAM (and hence
+#: subject to fp16 flips): the ngp hash tables and the TensoRF
+#: plane/line factor stores.
+_FEATURE_STORE_NAMES = frozenset(
+    {"hash_tables", "factor_planes", "factor_lines"}
+)
+
 
 def flip_fp16_bits(
     values: np.ndarray, n_flips: int, rng: np.random.Generator
@@ -91,15 +98,21 @@ def inject_model_faults(
 ) -> dict:
     """Flip bits in a model's weight stores, in place.
 
-    Hash-table parameters (any parameter named ``hash_tables``, possibly
-    expert-prefixed) take fp16 flips; every other parameter (MLP weights
-    and biases) takes INT8 fixed-point flips.  The requested flip counts
-    are spread over the matching tensors proportionally to their size.
+    Feature-store parameters — ``hash_tables`` for the ``ngp`` renderer,
+    ``factor_planes``/``factor_lines`` for ``tensorf``, possibly
+    expert-prefixed — live in the fp16 feature SRAM and take fp16 flips;
+    every other parameter (MLP weights and biases) takes INT8
+    fixed-point flips.  The requested flip counts are spread over the
+    matching tensors proportionally to their size.
     Returns ``{"hash_table_flips": n, "mlp_flips": n}`` actually applied.
     """
     params = model.parameters()
-    hash_names = [n for n in params if n.split(".")[-1] == "hash_tables"]
-    mlp_names = [n for n in params if n.split(".")[-1] != "hash_tables"]
+    hash_names = [
+        n for n in params if n.split(".")[-1] in _FEATURE_STORE_NAMES
+    ]
+    mlp_names = [
+        n for n in params if n.split(".")[-1] not in _FEATURE_STORE_NAMES
+    ]
     applied = {"hash_table_flips": 0, "mlp_flips": 0}
     for names, total, kind in (
         (hash_names, config.hash_table_bit_flips, "hash"),

@@ -22,6 +22,7 @@ from .. import telemetry
 from ..nerf.checkpoint import load_scene
 from ..nerf.occupancy import OccupancyGrid
 from ..nerf.sampling import RayMarcher, SamplerConfig
+from ..pipeline.registry import renderer_name_for
 from ..sim.trace import WorkloadTrace, trace_from_rays
 
 #: Ray grid of the deploy-time representative workload trace (per-scene
@@ -63,6 +64,9 @@ class SceneRecord:
     #: Whether the occupancy grid came from trained state (checkpoint /
     #: caller) rather than the permissive keep-everything fallback.
     warmed: bool = True
+    #: Renderer family of the deployed model (``repro.pipeline`` name);
+    #: the scheduler/admission cost estimates key on (scene, renderer).
+    renderer: str = "ngp"
 
 
 class SceneHandle:
@@ -122,6 +126,12 @@ class SceneHandle:
     def trace(self) -> WorkloadTrace:
         """Representative workload trace for hardware billing."""
         return self._record.trace
+
+    @property
+    def renderer(self) -> str:
+        """Renderer family of the pinned generation (hot-swaps may
+        change it, so in-flight requests read their pinned tag)."""
+        return self._record.renderer
 
     def release(self) -> None:
         """Drop the pin; frees the record when its refcount drains."""
@@ -203,6 +213,7 @@ class SceneRegistry:
             {
                 "name": r.name,
                 "generation": r.generation,
+                "renderer": r.renderer,
                 "bytes": r.n_bytes,
                 "refcount": r.refcount,
                 "warmed": r.warmed,
@@ -222,6 +233,7 @@ class SceneRegistry:
         checkpoint=None,
         background: float = 1.0,
         max_samples_per_ray: int = None,
+        renderer: str = None,
     ) -> dict:
         """Deploy (or hot-swap) a scene; returns its summary dict.
 
@@ -235,6 +247,13 @@ class SceneRegistry:
         requests keep their pinned handles, new acquisitions get the new
         weights, and the old generation is freed when its refcount
         drains.
+
+        ``renderer`` tags the generation with its renderer family;
+        when omitted it is inferred from the model type via
+        :func:`repro.pipeline.registry.renderer_name_for`.  A hot-swap
+        may change the tag (e.g. redeploying an ``ngp`` scene as
+        ``tensorf``); per-(scene, renderer) cost estimates downstream
+        key on it.
         """
         if checkpoint is not None:
             loaded_model, loaded_occupancy, loaded_normalizer = load_scene(checkpoint)
@@ -265,6 +284,7 @@ class SceneRegistry:
             trace=_representative_trace(occupancy, max_samples),
             n_bytes=_scene_bytes(model, occupancy),
             warmed=warmed,
+            renderer=renderer or renderer_name_for(model),
         )
         previous = self._records.get(name)
         if previous is not None:

@@ -108,8 +108,13 @@ class RenderService:
         self._callbacks = {}
         #: request_id -> RenderResponse once terminal.
         self.responses = {}
-        #: EWMA of delivered seconds per queued ray (None until first batch).
-        self._s_per_ray = None
+        #: EWMA of delivered seconds per queued ray, keyed per
+        #: (scene, renderer).  Renderer families differ in cost by
+        #: orders of magnitude, so a shared estimate would let a slow
+        #: renderer poison a fast one's deadline-feasibility checks;
+        #: each key starts fresh (None -> feasibility check skipped)
+        #: until its own first dispatched batch.
+        self._s_per_ray = {}
         self.batches_dispatched = 0
         self.hardware_busy_s = 0.0
 
@@ -179,7 +184,9 @@ class RenderService:
                 self.now_s,
                 self.scheduler.queued_rays(),
                 full_spr,
-                est_s_per_ray=self._s_per_ray,
+                est_s_per_ray=self._s_per_ray.get(
+                    (request.scene, handle.renderer)
+                ),
             )
             if not decision.admitted:
                 handle.release()
@@ -237,6 +244,7 @@ class RenderService:
         billed_samples = 0.0
         finished = []
         trace = None
+        renderer = None
         with tel.tracer.span(
             "serve.dispatch",
             scene=batch.scene,
@@ -251,6 +259,7 @@ class RenderService:
                     self._finish(active, FAILED_SCENE_EVICTED)
                     continue
                 trace = active.handle.trace
+                renderer = active.handle.renderer
                 colors, samples, _ = render_rays(
                     active.handle.model,
                     active.origins[item.start : item.stop],
@@ -268,13 +277,15 @@ class RenderService:
         self.now_s += runtime_s
         self.hardware_busy_s += runtime_s
         self.batches_dispatched += 1
-        if runtime_s > 0 and batch.n_rays > 0:
+        if runtime_s > 0 and batch.n_rays > 0 and renderer is not None:
             observed = runtime_s / batch.n_rays
-            if self._s_per_ray is None:
-                self._s_per_ray = observed
+            key = (batch.scene, renderer)
+            previous = self._s_per_ray.get(key)
+            if previous is None:
+                self._s_per_ray[key] = observed
             else:
                 alpha = self.config.ewma_alpha
-                self._s_per_ray = alpha * observed + (1 - alpha) * self._s_per_ray
+                self._s_per_ray[key] = alpha * observed + (1 - alpha) * previous
         for active in finished:
             self._finish(active, "completed")
         if tel.enabled:
@@ -374,7 +385,17 @@ class RenderService:
             "degraded": self.admission.degraded,
             "shed": self.admission.shed,
             "rejected_deadline": self.admission.rejected_deadline,
-            "ewma_s_per_ray": self._s_per_ray,
+            # Aggregate kept for backward compatibility; the per-key
+            # detail is what admission actually consults.
+            "ewma_s_per_ray": (
+                sum(self._s_per_ray.values()) / len(self._s_per_ray)
+                if self._s_per_ray
+                else None
+            ),
+            "ewma_s_per_ray_by_key": {
+                f"{scene}/{renderer}": value
+                for (scene, renderer), value in sorted(self._s_per_ray.items())
+            },
         }
 
     def report(self) -> str:

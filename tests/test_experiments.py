@@ -23,7 +23,8 @@ def test_registry_complete():
     assert {"table2", "fig13a", "tensorf_adaptation"} <= set(runner.REGISTRY)
     assert "serving_study" in runner.REGISTRY
     assert "capacity_study" in runner.REGISTRY
-    assert len(runner.REGISTRY) == 27
+    assert "cross_renderer" in runner.REGISTRY
+    assert len(runner.REGISTRY) == 28
 
 
 def test_unknown_experiment_raises():

@@ -262,3 +262,43 @@ def test_cli_plan_infeasible_exit_code(tmp_path, capsys):
 
 def test_default_history_name_is_committed_log():
     assert DEFAULT_HISTORY == "BENCH_history.jsonl"
+
+
+# -- renderer grouping in bench trends -------------------------------------
+
+
+def test_renderer_of_bench_classification():
+    from repro.obs.bench_trends import renderer_of_bench
+
+    assert renderer_of_bench("tensorf_fwd_bwd") == "tensorf"
+    assert renderer_of_bench("tensorf_render_frame") == "tensorf"
+    assert renderer_of_bench("scatter_add") == "common"
+    assert renderer_of_bench("occupancy_init") == "common"
+    assert renderer_of_bench("hash_forward") == "ngp"
+    assert renderer_of_bench("render_frame") == "ngp"
+
+
+def test_trend_table_groups_rows_by_renderer():
+    payload = {
+        "schema": 1,
+        "numpy": "2.0.0",
+        "modes": {
+            "full": {
+                "render_frame": {"speedup": 1.8},
+                "tensorf_fwd_bwd": {"speedup": 40.0},
+                "scatter_add": {"speedup": 3.0},
+            }
+        },
+    }
+    rows = trend_rows([entry_from_payload(payload)])
+    assert {r["renderer"] for r in rows} == {"ngp", "tensorf", "common"}
+    text = format_trend_table(rows)
+    lines = text.splitlines()
+    # One subheader per renderer family, each before its benches.
+    for renderer, bench in (
+        ("common", "scatter_add"),
+        ("ngp", "render_frame"),
+        ("tensorf", "tensorf_fwd_bwd"),
+    ):
+        header = lines.index(f"renderer: {renderer}")
+        assert bench in lines[header + 1]

@@ -685,3 +685,38 @@ def test_runner_rejects_bad_plan_file(tmp_path):
     bad.write_text('{"sram": {"hash_flips": 1}}')
     with pytest.raises(FaultConfigError):
         runner.main(["run", "fig3", "--faults", str(bad)])
+
+
+def test_inject_model_faults_classifies_tensorf_factors_as_fp16():
+    """TensoRF plane/line factor stores take fp16 flips, MLP takes INT8.
+
+    The fp16 feature-SRAM fault class covers every renderer's feature
+    store: ``hash_tables`` for ngp, ``factor_planes``/``factor_lines``
+    for tensorf.
+    """
+    from repro.nerf.tensorf import TensoRFConfig, TensoRFModel
+
+    plan = FaultPlan(
+        seed=3, sram=SramFaultConfig(hash_table_bit_flips=24, mlp_bit_flips=8)
+    )
+    model = TensoRFModel(
+        TensoRFConfig(resolution=8, n_components=2, hidden_width=16, geo_features=8),
+        seed=0,
+    )
+    before = {k: v.copy() for k, v in model.parameters().items()}
+    applied = inject_model_faults(model, plan.sram, plan.rng("sram:vm"))
+    assert applied == {"hash_table_flips": 24, "mlp_flips": 8}
+    params = model.parameters()
+    factor_changed = any(
+        not np.array_equal(params[k], before[k], equal_nan=True)
+        for k in ("factor_planes", "factor_lines")
+    )
+    assert factor_changed
+    # The flipped factor values are fp16-representable: the flip
+    # round-trips through the half-precision storage format.
+    for k in ("factor_planes", "factor_lines"):
+        assert np.array_equal(
+            params[k],
+            params[k].astype(np.float16).astype(np.float64),
+            equal_nan=True,
+        )

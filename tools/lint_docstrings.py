@@ -31,6 +31,7 @@ DEFAULT_PACKAGES = (
     "repro.serve",
     "repro.perf",
     "repro.obs",
+    "repro.pipeline",
 )
 
 # Runnable straight from a checkout: the in-tree `src/` layout sits next
