@@ -33,6 +33,7 @@ from . import (
     dataset_stats,
     ert_study,
     fault_sweep,
+    fleet_churn,
     fig3,
     fig6,
     fig9_10,
@@ -85,6 +86,7 @@ REGISTRY = {
     "moe_scaling": (moe_scaling, "Fig. 13(a) obs. 2: PSNR vs expert count"),
     "ert_study": (ert_study, "extension: early ray termination"),
     "fault_sweep": (fault_sweep, "robustness: faults & graceful degradation"),
+    "fleet_churn": (fleet_churn, "fleet: SLO attainment through worker churn"),
     "serving_study": (serving_study, "serving: latency-throughput & SLO attainment"),
     "cross_renderer": (cross_renderer, "pipeline: ngp vs tensorf quality/speed/SLO"),
     "capacity_study": (capacity_study, "ops: cost models -> capacity plans, validated"),
@@ -373,6 +375,90 @@ def _cmd_serve(args) -> int:
     return 0 if report.completed > 0 else 1
 
 
+def _cmd_fleet(args) -> int:
+    """Drive the distributed render fleet through a churn scenario.
+
+    ``--smoke`` is the CI chaos preset: 4 workers, one killed mid-run by
+    a seeded fault plan, printing the fleet report whose
+    ``fleet rebalance:`` and ``unaccounted requests: 0`` lines the CI
+    job greps.  ``--faults FILE`` replaces the built-in kill with an
+    arbitrary fleet fault plan (crashes, stalls, slowdowns, reply
+    drops); ``--kill-at -1`` disables the built-in kill entirely.
+    """
+    import numpy as np
+
+    from ..experiments.fleet_churn import (
+        HW_SCALE,
+        RECOVERY_TOLERANCE,
+        churn_fleet_config,
+        run_churn_scenario,
+    )
+    from ..fleet import FleetController
+    from ..robustness.faults import FaultPlan
+    from ..serve import build_demo_registry, demo_camera, run_open_loop
+
+    if args.smoke:
+        workers, rate, duration, kill_at, probe = 4, 40.0, 2.0, 0.7, 12
+    else:
+        workers, rate, duration = args.workers, args.rate, args.duration
+        kill_at, probe = args.kill_at, args.probe
+    if args.faults:
+        plan = FaultPlan.from_file(args.faults)
+        logger.info(
+            "fault plan loaded from %s (seed=%d)", args.faults, plan.seed
+        )
+        registry = build_demo_registry(n_scenes=args.scenes)
+        controller = FleetController(
+            registry, config=churn_fleet_config(workers), fault_plan=plan
+        )
+        run_open_loop(
+            controller,
+            [s["name"] for s in registry.scenes()],
+            rate_hz=rate,
+            duration_s=duration,
+            camera=demo_camera(probe, probe),
+            rng=np.random.default_rng(args.seed),
+            hw_scale=args.hw_scale,
+        )
+        row = None
+    else:
+        controller, _, row = run_churn_scenario(
+            n_workers=workers,
+            kill_at_s=kill_at if kill_at > 0 else duration * 10,
+            rate_hz=rate,
+            duration_s=duration,
+            probe=probe,
+            n_scenes=args.scenes,
+            hw_scale=args.hw_scale,
+            seed=args.seed,
+        )
+    accounting = controller.accounting()
+    if args.json:
+        payload = {
+            "stats": controller.stats(),
+            "accounting": accounting,
+            "churn": row,
+        }
+        logger.info("%s", json.dumps(payload, indent=2, default=str))
+    else:
+        logger.info("%s", controller.report())
+        if row is not None and row["detect_delay_s"] == row["detect_delay_s"]:
+            logger.info(
+                "fleet churn: killed worker %d at t=%.2fs, detected +%.0fms; "
+                "attainment pre=%.3f dip=%.3f post=%.3f (%s)",
+                row["victim"], row["kill_at_s"],
+                row["detect_delay_s"] * 1e3,
+                row["attainment_pre"], row["attainment_dip"],
+                row["attainment_post"],
+                "recovered" if row["recovered"]
+                else f"NOT recovered within {RECOVERY_TOLERANCE:.0%}",
+            )
+    ok = accounting["completed"] > 0 and accounting["unaccounted"] == 0
+    if row is not None and not row["recovered"]:
+        ok = False
+    return 0 if ok else 1
+
+
 def _cmd_bench(args) -> int:
     """Run the perf benches; optionally gate against the baseline."""
     from .. import perf
@@ -412,8 +498,10 @@ def _cmd_plan(args) -> int:
     from ..obs import (
         PlanTarget,
         SceneCostModel,
+        format_fleet_plan,
         format_plan,
         plan_capacity,
+        plan_fleet,
         profile_demo_scene,
     )
 
@@ -437,6 +525,24 @@ def _cmd_plan(args) -> int:
         slo_s=args.slo_ms / 1e3,
         attainment=args.attainment,
     )
+    if args.spare_workers is not None:
+        fleet = plan_fleet(
+            model,
+            target,
+            replication=args.replication,
+            spare_workers=args.spare_workers,
+        )
+        if args.json:
+            logger.info(
+                "%s",
+                json.dumps(
+                    {"model": model.to_payload(), "fleet": fleet.to_payload()},
+                    indent=2,
+                ),
+            )
+        else:
+            logger.info("%s", format_fleet_plan(fleet, model))
+        return 0 if fleet.feasible else 1
     plan = plan_capacity(model, target)
     if args.json:
         logger.info(
@@ -762,9 +868,73 @@ def main(argv: list = None) -> int:
         help="write the fitted cost model as JSON to FILE",
     )
     plan_parser.add_argument(
+        "--spare-workers", type=int, default=None, metavar="N",
+        help="size a churn-tolerant fleet instead: boards + N live "
+        "spares (prints the 'fleet plan:' line)",
+    )
+    plan_parser.add_argument(
+        "--replication", type=int, default=2, metavar="R",
+        help="scene copies the fleet keeps, for --spare-workers "
+        "(default: 2)",
+    )
+    plan_parser.add_argument(
         "--json",
         action="store_true",
         help="emit the model + plan as JSON instead of the text report",
+    )
+    fleet_parser = sub.add_parser(
+        "fleet",
+        parents=[common],
+        help="drive the distributed render fleet through a churn "
+        "scenario and print the fleet report",
+    )
+    fleet_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI chaos preset: 4 workers, one killed mid-run, seeded",
+    )
+    fleet_parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="fleet size (default: 4)",
+    )
+    fleet_parser.add_argument(
+        "--rate", type=float, default=40.0, metavar="HZ",
+        help="open-loop offered arrival rate (default: 40)",
+    )
+    fleet_parser.add_argument(
+        "--duration", type=float, default=3.0, metavar="S",
+        help="simulated arrival horizon in seconds (default: 3.0)",
+    )
+    fleet_parser.add_argument(
+        "--kill-at", type=float, default=1.0, metavar="S",
+        help="kill one worker at this instant; negative disables "
+        "(default: 1.0)",
+    )
+    fleet_parser.add_argument(
+        "--scenes", type=int, default=2, metavar="N",
+        help="demo scenes to deploy (default: 2)",
+    )
+    fleet_parser.add_argument(
+        "--probe", type=int, default=16, metavar="PX",
+        help="probe frame edge length in pixels (default: 16)",
+    )
+    fleet_parser.add_argument(
+        "--hw-scale", type=float, default=5000.0, metavar="X",
+        help="bill each probe frame as X frames of hardware work "
+        "(default: 5000)",
+    )
+    fleet_parser.add_argument(
+        "--faults", metavar="FILE", default=None,
+        help="fleet fault plan JSON (crashes/stalls/slowdowns/drops) "
+        "replacing the built-in kill",
+    )
+    fleet_parser.add_argument(
+        "--seed", type=int, default=7, help="scenario RNG seed"
+    )
+    fleet_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit fleet stats + accounting as JSON instead of text",
     )
     top_parser = sub.add_parser(
         "top",
@@ -845,6 +1015,8 @@ def main(argv: list = None) -> int:
         return _cmd_cache(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "plan":

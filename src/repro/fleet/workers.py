@@ -1,0 +1,180 @@
+"""Simulated render workers: per-worker boards, churn, and health.
+
+A :class:`FleetWorker` is one render server of the fleet: a serial
+simulated board (one RPC occupies it at a time, so queueing delay is
+real — the same property :class:`~repro.serve.service.RenderService`
+has for its single board) plus the worker-level failure surface the
+fault plan drives: a crash instant, stall windows, and slow-degrade
+factors.  The worker does *time accounting only* — pixels are rendered
+by the controller through the shared scene registry, which is what
+makes a replica-served frame bit-identical to a primary-served one.
+
+Health (``healthy``/``slow``/``dead``) is a *controller-side judgment*
+reached through heartbeats; the worker merely stores the verdict.  The
+distinction matters: a crashed worker the controller has not yet
+noticed still receives dispatches (and silently eats them), exactly as
+a real fleet behaves between a death and its detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Health states, in degradation order.
+HEALTHY = "healthy"
+SLOW = "slow"
+DEAD = "dead"
+
+
+@dataclass
+class FleetWorker:
+    """One simulated render worker (see module docstring)."""
+
+    index: int
+    #: Fleet-clock instant this worker dies (``None`` = never).
+    crash_at_s: float = None
+    #: Silent windows as ``(start_s, end_s)`` pairs: replies and
+    #: heartbeats inside a window are deferred to its end.
+    stalls: tuple = ()
+    #: Slow-degrades as ``(at_s, factor)`` pairs: service time scales by
+    #: ``factor`` from ``at_s`` on (factors compound).
+    slowdowns: tuple = ()
+    #: MoE experts this worker currently hosts (inherited experts run
+    #: serially, scaling service time — the chip-level remap cost model).
+    experts: list = field(default_factory=list)
+    #: Controller-assigned health verdict.
+    health: str = HEALTHY
+    #: Consecutive heartbeats missed (controller bookkeeping).
+    missed_heartbeats: int = 0
+    #: Board busy horizon: an RPC dispatched now starts at
+    #: ``max(now, busy_until_s)``.
+    busy_until_s: float = 0.0
+    #: Total board-busy seconds charged to this worker.
+    busy_s: float = 0.0
+    #: RPCs this worker completed (reply delivered).
+    completed_rpcs: int = 0
+    #: Kept-sample load proxy accumulated across its dispatches.
+    billed_samples: float = 0.0
+
+    def __post_init__(self):
+        if not self.experts:
+            self.experts = [self.index]
+        self.stalls = tuple(
+            (float(a), float(b)) for a, b in self.stalls
+        )
+        self.slowdowns = tuple(
+            (float(a), float(f)) for a, f in self.slowdowns
+        )
+
+    # -- failure surface -------------------------------------------------
+
+    def alive_at(self, t: float) -> bool:
+        """Whether the worker process exists at fleet-clock ``t``."""
+        return self.crash_at_s is None or t < self.crash_at_s
+
+    def stalled_at(self, t: float) -> bool:
+        """Whether ``t`` falls inside one of the worker's silent windows."""
+        return any(start <= t < end for start, end in self.stalls)
+
+    def responsive_at(self, t: float) -> bool:
+        """Whether a heartbeat sent at ``t`` would be answered."""
+        return self.alive_at(t) and not self.stalled_at(t)
+
+    def service_multiplier(self, t: float) -> float:
+        """Service-time inflation at ``t``: inherited experts x slowdowns.
+
+        Inherited experts run serially (one more expert doubles the
+        work, the chip-level ``remap`` cost model); active slow-degrade
+        factors compound on top.
+        """
+        factor = float(max(len(self.experts), 1))
+        for at_s, slow in self.slowdowns:
+            if t >= at_s:
+                factor *= slow
+        return factor
+
+    # -- board occupancy -------------------------------------------------
+
+    def occupy(self, now_s: float, service_s: float) -> float:
+        """Charge one RPC's board time; returns its finish instant.
+
+        The board is serial: work dispatched while busy queues behind
+        the current occupant.
+        """
+        if service_s < 0:
+            raise ValueError("service_s must be non-negative")
+        start = max(now_s, self.busy_until_s)
+        end = start + service_s
+        self.busy_until_s = end
+        self.busy_s += service_s
+        return end
+
+    def reply_time(self, end_s: float) -> float:
+        """When the reply for work finishing at ``end_s`` reaches the
+        controller — or ``None`` if it never does.
+
+        A worker that crashes before (or at) the finish instant never
+        replies; a stalled worker holds the reply until its silent
+        window closes.
+        """
+        if self.crash_at_s is not None and end_s >= self.crash_at_s:
+            return None
+        t = end_s
+        for start, end in self.stalls:
+            if start <= t < end:
+                t = end
+        if self.crash_at_s is not None and t >= self.crash_at_s:
+            return None
+        return t
+
+    def summary(self) -> dict:
+        """Flat stats row for fleet reports and the dashboard."""
+        return {
+            "index": self.index,
+            "health": self.health,
+            "experts": list(self.experts),
+            "completed_rpcs": self.completed_rpcs,
+            "busy_s": self.busy_s,
+        }
+
+
+def workers_from_fault_config(n_workers: int, fleet_cfg=None) -> list:
+    """Build the worker set, pre-wiring the fault plan's churn schedule.
+
+    ``fleet_cfg`` is a
+    :class:`~repro.robustness.faults.FleetFaultConfig` (or ``None`` for
+    a churn-free fleet).  Crash/stall/slowdown entries naming a worker
+    index outside ``[0, n_workers)`` are rejected loudly — a typo'd
+    chaos plan must not silently become a no-op.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    workers = [FleetWorker(index=i) for i in range(n_workers)]
+    if fleet_cfg is None:
+        return workers
+
+    def _check(worker):
+        if not 0 <= worker < n_workers:
+            raise ValueError(
+                f"fault plan names worker {worker} but the fleet has "
+                f"{n_workers} workers"
+            )
+        return worker
+
+    for worker, at_s in fleet_cfg.crashes:
+        workers[_check(worker)].crash_at_s = float(at_s)
+    stalls = {}
+    for worker, at_s, duration_s in fleet_cfg.stalls:
+        stalls.setdefault(_check(worker), []).append(
+            (float(at_s), float(at_s) + float(duration_s))
+        )
+    for worker, windows in stalls.items():
+        workers[worker].stalls = tuple(sorted(windows))
+    slowdowns = {}
+    for worker, at_s, factor in fleet_cfg.slowdowns:
+        slowdowns.setdefault(_check(worker), []).append(
+            (float(at_s), float(factor))
+        )
+    for worker, factors in slowdowns.items():
+        workers[worker].slowdowns = tuple(sorted(factors))
+    return workers

@@ -12,8 +12,10 @@ in, and the plane a distributed render fleet will be operated through:
   intervals over repeated runs and a stable on-disk JSON schema;
 * :mod:`~repro.obs.planner` — answer "how many boards / what max
   admission rate" for a target load and latency SLO from a fitted cost
-  model (M/M/1 sojourn tail bound), and validate the answer empirically
-  by driving the Poisson load generator at the planned rate;
+  model (M/M/1 sojourn tail bound), size a churn-tolerant worker fleet
+  on top of it (:func:`~repro.obs.planner.plan_fleet`), and validate
+  the answer empirically by driving the Poisson load generator at the
+  planned rate;
 * :mod:`~repro.obs.dashboard` — a stdlib-only terminal dashboard
   (``runner top``) over the periodic metrics snapshots a
   :class:`~repro.telemetry.metrics.SnapshotPublisher` retains:
@@ -49,9 +51,12 @@ from .costmodel import (
 from .dashboard import render_dashboard, run_demo_ops
 from .planner import (
     CapacityPlan,
+    FleetPlan,
     PlanTarget,
+    format_fleet_plan,
     format_plan,
     plan_capacity,
+    plan_fleet,
     validate_plan,
 )
 
@@ -59,17 +64,20 @@ __all__ = [
     "CapacityPlan",
     "CostObservation",
     "FittedStat",
+    "FleetPlan",
     "PlanTarget",
     "SCHEMA_VERSION",
     "SceneCostModel",
     "append_entry",
     "entry_from_payload",
     "fit_cost_model",
+    "format_fleet_plan",
     "format_plan",
     "format_trend_table",
     "load_history",
     "observation_from_run",
     "plan_capacity",
+    "plan_fleet",
     "profile_demo_scene",
     "render_dashboard",
     "run_demo_ops",

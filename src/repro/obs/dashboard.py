@@ -153,11 +153,44 @@ def _slo_section(slo: dict) -> list:
     return lines
 
 
+def _fleet_section(fleet: dict) -> list:
+    """Fleet panel from a :meth:`~repro.fleet.FleetController.stats` dict."""
+    workers = fleet.get("workers", [])
+    dead = [w for w in workers if w.get("health") == "dead"]
+    lines = [
+        "fleet",
+        (
+            f"  workers: {len(workers)} ({len(dead)} dead)   "
+            f"rebalances: {fleet.get('rebalances', 0)}   "
+            f"util: {fleet.get('utilization', 0.0):.0%}   "
+            f"in-flight: {fleet.get('in_flight', 0)}   "
+            f"unaccounted: {fleet.get('unaccounted', 0)}"
+        ),
+        (
+            f"  rpc: timeouts {fleet.get('rpc_timeouts', 0)}   "
+            f"retries {fleet.get('retries', 0)}   "
+            f"hedges {fleet.get('hedges', 0)}   "
+            f"dropped {fleet.get('dropped_replies', 0)}   "
+            f"late {fleet.get('late_replies', 0)}"
+        ),
+    ]
+    for worker in workers:
+        lines.append(
+            f"    worker {worker.get('index')}: "
+            f"{worker.get('health', '?'):<8} "
+            f"experts={worker.get('experts')} "
+            f"rpcs={worker.get('completed_rpcs', 0)} "
+            f"busy={worker.get('busy_s', 0.0):.3f}s"
+        )
+    return lines
+
+
 def render_dashboard(
     history,
     slo: dict = None,
     bench_rows: list = None,
     bench_mode: str = "full",
+    fleet: dict = None,
     title: str = "fusion3d ops",
 ) -> str:
     """Render one dashboard frame from published telemetry.
@@ -165,7 +198,9 @@ def render_dashboard(
     ``history`` is a :meth:`~repro.telemetry.metrics.SnapshotPublisher.history`
     list (>= 1 snapshot; rates need >= 2), ``slo`` an
     :meth:`~repro.serve.slo.SLOTracker.to_payload` dict, ``bench_rows``
-    the output of :func:`repro.obs.bench_trends.trend_rows`.
+    the output of :func:`repro.obs.bench_trends.trend_rows`, ``fleet``
+    a :meth:`~repro.fleet.FleetController.stats` dict (adds the
+    per-worker fleet panel).
     """
     first, last, dt = window(history)
     head = (
@@ -176,6 +211,8 @@ def render_dashboard(
     lines.extend(_throughput_section(first, last, dt))
     lines.extend(_queues_section(last))
     lines.extend(_rates_section(first, last, dt))
+    if fleet is not None:
+        lines.extend(_fleet_section(fleet))
     if slo is not None:
         lines.extend(_slo_section(slo))
     if bench_rows is not None:

@@ -212,6 +212,103 @@ def format_plan(plan: CapacityPlan, model: SceneCostModel = None) -> str:
     return "\n".join(lines)
 
 
+@dataclass
+class FleetPlan:
+    """Worker-count answer for a replicated render fleet.
+
+    Wraps the single-board :class:`CapacityPlan` with the fleet-level
+    sizing question: how many *workers* (one board each) so the target
+    still holds after losing ``spare_workers`` of them.  Spares are
+    live, load-carrying workers — the fleet runs below the per-board
+    admission ceiling until a death consumes the headroom — which is
+    what lets :class:`~repro.fleet.FleetController`'s rebalance recover
+    attainment instead of merely surviving.
+    """
+
+    base: CapacityPlan
+    #: Scene copies the fleet keeps (consistent-hash preference length).
+    replication: int
+    #: Worker deaths the fleet must absorb at full SLO.
+    spare_workers: int
+
+    @property
+    def workers(self) -> int:
+        """Total workers to provision (0 when the target is infeasible)."""
+        return (
+            self.base.boards + self.spare_workers if self.base.feasible else 0
+        )
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the underlying single-board plan is feasible."""
+        return self.base.feasible
+
+    @property
+    def utilization(self) -> float:
+        """Per-worker utilization with the full fleet healthy."""
+        if not self.base.feasible:
+            return float("inf")
+        return self.base.target.rate_hz / self.workers * self.base.s_per_frame
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict form for reports and the dashboard."""
+        return {
+            "plan": self.base.to_payload(),
+            "replication": self.replication,
+            "spare_workers": self.spare_workers,
+            "workers": self.workers,
+            "utilization": self.utilization,
+            "feasible": self.feasible,
+        }
+
+
+def plan_fleet(
+    model: SceneCostModel,
+    target: PlanTarget,
+    replication: int = 2,
+    spare_workers: int = 1,
+) -> FleetPlan:
+    """Answer "how many workers" for a churn-tolerant fleet.
+
+    ``spare_workers`` deaths must leave enough survivors to carry the
+    target at the single-board plan's admission ceiling; ``replication``
+    must not exceed the fleet size (every replica needs a distinct
+    worker), so tiny fleets are grown to hold it.
+    """
+    if replication < 1:
+        raise ValueError("replication must be positive")
+    if spare_workers < 0:
+        raise ValueError("spare_workers must be non-negative")
+    base = plan_capacity(model, target)
+    if base.feasible and base.boards + spare_workers < replication:
+        base.boards = replication - spare_workers
+        base.utilization = target.rate_hz / base.boards * base.s_per_frame
+        base.notes.append(
+            f"boards grown to seat replication={replication}"
+        )
+    return FleetPlan(
+        base=base, replication=replication, spare_workers=spare_workers
+    )
+
+
+def format_fleet_plan(plan: FleetPlan, model: SceneCostModel = None) -> str:
+    """Render a fleet plan: the capacity report plus the worker answer.
+
+    Appends the greppable ``fleet plan:`` line CI smoke jobs look for.
+    """
+    lines = [format_plan(plan.base, model)]
+    if plan.feasible:
+        lines.append(
+            f"fleet plan: {plan.workers} worker(s) "
+            f"({plan.base.boards} serving + {plan.spare_workers} spare), "
+            f"replication {plan.replication}, "
+            f"{plan.utilization:.0%} utilization healthy"
+        )
+    else:
+        lines.append("fleet plan: INFEASIBLE (see notes above)")
+    return "\n".join(lines)
+
+
 def validate_plan(
     model: SceneCostModel,
     target: PlanTarget,

@@ -25,8 +25,10 @@ be skipped", chunking owns "how one big job splits".
 from .cache import ResultCache, activate, cache_key, deactivate, default_cache_root, get_active
 from .chunking import chunk_spans, parallel_map_chunks
 from .engine import (
+    MAX_POOL_REBUILDS,
     ExperimentTimeout,
     JobOutcome,
+    PoolRebuildLimitError,
     RunReport,
     execute_job,
     merge_metric_snapshots,
@@ -47,6 +49,8 @@ from .fingerprint import (
 __all__ = [
     "ExperimentTimeout",
     "JobOutcome",
+    "MAX_POOL_REBUILDS",
+    "PoolRebuildLimitError",
     "RESULT_PACKAGES",
     "ResultCache",
     "RunReport",

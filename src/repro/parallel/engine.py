@@ -10,9 +10,15 @@ merges them into one :class:`RunReport`.
 
 Failure policy: a crashed job (any exception, including a dead worker
 process) is retried once by default; a timed-out job is **not** retried
-— it would time out again and double the damage.  A broken pool is
-rebuilt once per round, so one segfaulting experiment cannot take down
-the rest of the sweep.
+— it would time out again and double the damage.  Retry pacing is
+delegated to :class:`repro.robustness.backoff.BackoffPolicy` (the
+default reproduces the historical retry-once-immediately behavior;
+callers can pass a jittered exponential schedule instead).  A broken
+pool is rebuilt so one segfaulting experiment cannot take down the rest
+of the sweep — but only :data:`MAX_POOL_REBUILDS` *consecutive* times:
+a worker function that crashes the pool persistently would otherwise
+rebuild forever, so past the cap the remaining jobs fail loudly with a
+structured ``PoolRebuildLimitError`` outcome instead of spinning.
 
 Caching: with a :class:`~repro.parallel.cache.ResultCache` attached, the
 parent consults the cache *before* submitting anything (a warm sweep
@@ -31,16 +37,26 @@ normalization, same cache writes), which the test suite asserts.
 
 from __future__ import annotations
 
+import logging
 import os
 import signal
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+import numpy as np
+
+from ..robustness.backoff import BackoffPolicy, ENGINE_DEFAULT
 from . import cache as cache_mod
 from .fingerprint import RESULT_PACKAGES, source_fingerprint
+
+logger = logging.getLogger("repro.parallel")
+
+#: Consecutive broken-pool rebuilds tolerated before the engine stops
+#: resubmitting and fails the remaining jobs with a structured error.
+MAX_POOL_REBUILDS = 3
 
 # NOTE: repro.experiments is imported lazily throughout this module.  The
 # experiments package pulls in the whole algorithm stack, and the nerf hot
@@ -50,6 +66,15 @@ from .fingerprint import RESULT_PACKAGES, source_fingerprint
 
 class ExperimentTimeout(Exception):
     """Raised inside a worker when a job exceeds its time budget."""
+
+
+class PoolRebuildLimitError(RuntimeError):
+    """The process pool broke down more consecutive times than allowed.
+
+    Jobs abandoned by the cap carry this error's message in their
+    :class:`JobOutcome` (status ``failed``) — a structured, greppable
+    verdict instead of an endless rebuild loop.
+    """
 
 
 def resolve_names(names=None) -> list:
@@ -320,18 +345,29 @@ def run_experiments(
     retries: int = 1,
     cache: cache_mod.ResultCache = None,
     collect_telemetry: bool = False,
+    backoff: BackoffPolicy = None,
+    max_pool_rebuilds: int = MAX_POOL_REBUILDS,
 ) -> RunReport:
     """Run a set of experiments, possibly in parallel, with caching.
 
     ``cache=None`` disables caching entirely (the ``--no-cache`` path).
     ``jobs <= 1`` executes inline in this process; otherwise a process
     pool of ``jobs`` workers is used.  See the module docstring for the
-    retry/timeout/caching policy.  Always returns a :class:`RunReport`;
-    per-experiment errors are reported in it, not raised.
+    retry/timeout/caching policy.  ``backoff`` overrides the retry
+    schedule (and its ``max_retries`` supersedes ``retries``); the
+    default is immediate resubmission, ``retries`` times.  Always
+    returns a :class:`RunReport`; per-experiment errors are reported in
+    it, not raised.
     """
     from ..experiments.base import ExperimentResult
 
     names = resolve_names(names)
+    policy = (
+        backoff
+        if backoff is not None
+        else replace(ENGINE_DEFAULT, max_retries=max(0, retries))
+    )
+    rng = np.random.default_rng(0)
     start = time.perf_counter()
     fingerprint = source_fingerprint(RESULT_PACKAGES) if cache is not None else None
     outcomes = {}
@@ -350,7 +386,6 @@ def run_experiments(
         else:
             pending.append(name)
 
-    max_attempts = 1 + max(0, retries)
     if pending:
         previous_active = cache_mod.get_active()
         if cache is not None:
@@ -358,12 +393,12 @@ def run_experiments(
         try:
             if jobs <= 1:
                 fresh = _run_inline(
-                    pending, quick, timeout_s, collect_telemetry, max_attempts
+                    pending, quick, timeout_s, collect_telemetry, policy, rng
                 )
             else:
                 fresh = _run_pool(
                     pending, jobs, quick, timeout_s, collect_telemetry,
-                    max_attempts, cache,
+                    policy, rng, cache, max_pool_rebuilds,
                 )
         finally:
             if previous_active is not None:
@@ -417,7 +452,7 @@ def _failure_outcome(name: str, exc: BaseException, attempts: int) -> JobOutcome
     return JobOutcome(name=name, status=status, attempts=attempts, error=error)
 
 
-def _run_inline(names, quick, timeout_s, collect_telemetry, max_attempts) -> dict:
+def _run_inline(names, quick, timeout_s, collect_telemetry, policy, rng) -> dict:
     """Sequential fallback sharing the worker code path (``jobs=1``)."""
     outcomes = {}
     for name in names:
@@ -430,7 +465,11 @@ def _run_inline(names, quick, timeout_s, collect_telemetry, max_attempts) -> dic
                 outcomes[name] = _failure_outcome(name, exc, attempts)
                 break
             except Exception as exc:
-                if attempts < max_attempts:
+                # Failure number `attempts` asks for retry number `attempts`.
+                if policy.allows(attempts):
+                    delay = policy.delay_s(attempts, rng)
+                    if delay > 0:
+                        time.sleep(delay)
                     continue
                 outcomes[name] = _failure_outcome(name, exc, attempts)
                 break
@@ -440,9 +479,17 @@ def _run_inline(names, quick, timeout_s, collect_telemetry, max_attempts) -> dic
 
 
 def _run_pool(
-    names, jobs, quick, timeout_s, collect_telemetry, max_attempts, cache
+    names, jobs, quick, timeout_s, collect_telemetry, policy, rng, cache,
+    max_pool_rebuilds,
 ) -> dict:
-    """Fan ``names`` out over a process pool with crash retry."""
+    """Fan ``names`` out over a process pool with crash retry.
+
+    The pool is rebuilt when a worker death poisons it, but only
+    ``max_pool_rebuilds`` *consecutive* times: a job whose worker
+    function kills every pool it touches would otherwise rebuild
+    forever.  Past the cap, every not-yet-finished job fails with a
+    structured :class:`PoolRebuildLimitError` outcome.
+    """
     cache_root = cache.root if cache is not None else None
     outcomes = {}
     attempts = {name: 0 for name in names}
@@ -456,6 +503,7 @@ def _run_pool(
         )
 
     pool = make_pool()
+    consecutive_rebuilds = 0
     try:
         futures = {}
         for name in queue:
@@ -467,31 +515,39 @@ def _run_pool(
             done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
             resubmit = []
             pool_broken = False
+            saw_live_result = False
             for future in done:
                 name = futures.pop(future)
                 try:
                     payload = future.result()
                 except ExperimentTimeout as exc:
+                    saw_live_result = True
                     outcomes[name] = _failure_outcome(name, exc, attempts[name])
                 except BrokenProcessPool as exc:
                     pool_broken = True
-                    if attempts[name] < max_attempts:
+                    if policy.allows(attempts[name]):
                         resubmit.append(name)
                     else:
                         outcomes[name] = _failure_outcome(
                             name, exc, attempts[name]
                         )
                 except Exception as exc:
-                    if attempts[name] < max_attempts:
+                    saw_live_result = True
+                    if policy.allows(attempts[name]):
                         resubmit.append(name)
                     else:
                         outcomes[name] = _failure_outcome(
                             name, exc, attempts[name]
                         )
                 else:
+                    saw_live_result = True
                     outcomes[name] = _outcome_from_payload(
                         payload, attempts[name]
                     )
+            if saw_live_result:
+                # Any reply that reached the parent proves the pool was
+                # alive: only back-to-back breakdowns count as a streak.
+                consecutive_rebuilds = 0
             if pool_broken:
                 # A dead worker poisons the whole executor: drain the
                 # still-queued names and rebuild before resubmitting.
@@ -499,7 +555,27 @@ def _run_pool(
                     resubmit.append(name)
                 futures = {}
                 pool.shutdown(wait=False)
+                consecutive_rebuilds += 1
+                if consecutive_rebuilds > max_pool_rebuilds:
+                    exc = PoolRebuildLimitError(
+                        f"process pool broke {consecutive_rebuilds} "
+                        f"consecutive times (limit {max_pool_rebuilds}); "
+                        "a submitted worker function is killing every "
+                        "pool it runs in"
+                    )
+                    logger.error("%s", exc)
+                    for name in resubmit:
+                        outcomes[name] = _failure_outcome(
+                            name, exc, attempts[name]
+                        )
+                    break
                 pool = make_pool()
+            if resubmit:
+                delay = max(
+                    policy.delay_s(attempts[name], rng) for name in resubmit
+                )
+                if delay > 0:
+                    time.sleep(delay)
             for name in resubmit:
                 attempts[name] += 1
                 futures[pool.submit(

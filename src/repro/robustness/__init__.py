@@ -16,16 +16,22 @@ workload traces, and diverging training runs.  It has three halves:
   watchdog that rolls training back to the last good snapshot and backs
   the learning rate off.
 
+:mod:`repro.robustness.backoff` is the shared retry-pacing primitive
+(jittered exponential backoff under a deadline budget) used by both the
+parallel engine and the fleet controller.
+
 With no plan active (or an empty plan), every instrumented code path is
 bit-identical to the un-instrumented repo: :func:`get_active` is the
 single gate, and it returns ``None`` for both cases.
 """
 
+from .backoff import ENGINE_DEFAULT, BackoffPolicy
 from .degradation import format_degradation, plan_remap
 from .errors import DivergenceError, DivergenceEvent, FaultConfigError, FaultLog
 from .faults import (
     ChipletFaultConfig,
     FaultPlan,
+    FleetFaultConfig,
     SramFaultConfig,
     TraceFaultConfig,
     WatchdogConfig,
@@ -47,13 +53,16 @@ from .injection import (
 from .watchdog import DivergenceWatchdog
 
 __all__ = [
+    "BackoffPolicy",
     "ChipletFaultConfig",
+    "ENGINE_DEFAULT",
     "DivergenceError",
     "DivergenceEvent",
     "DivergenceWatchdog",
     "FaultConfigError",
     "FaultLog",
     "FaultPlan",
+    "FleetFaultConfig",
     "SramFaultConfig",
     "TraceFaultConfig",
     "WatchdogConfig",

@@ -3,8 +3,9 @@
 A :class:`FaultPlan` bundles every fault model the robustness subsystem
 knows how to inject — SRAM soft errors in the model's weight stores,
 dead chiplets and degraded inter-chip links in the multi-chip simulator,
-and corrupted workload-trace entries — plus the training watchdog's
-recovery policy.  Plans are frozen dataclasses with a canonical JSON
+corrupted workload-trace entries, and worker churn in the render fleet
+(crashes, stalls, slow-degrades, dropped replies) — plus the training
+watchdog's recovery policy.  Plans are frozen dataclasses with a canonical JSON
 form, so a degradation curve is reproducible from a checked-in
 ``plan.json`` artifact (``fusion3d-experiments run NAME --faults
 plan.json``).
@@ -134,6 +135,70 @@ class TraceFaultConfig:
 
 
 @dataclass(frozen=True)
+class FleetFaultConfig:
+    """Worker-level churn injected into the render fleet.
+
+    These are the fault sites of :mod:`repro.fleet`: a worker can crash
+    (permanently dead — triggers shard rebalance), stall (stops
+    responding for a window, then recovers), or slow-degrade (service
+    times inflate by a factor from some instant on).  Independently, a
+    fraction of RPC replies can be dropped — the worker does the work
+    but the controller never hears back, exercising the retry/hedge
+    path.  All times are virtual fleet-clock seconds; all draws derive
+    from :meth:`FaultPlan.rng`, so a churn scenario replays bit-exactly.
+    """
+
+    #: ``(worker_index, at_s)`` pairs: worker dies at ``at_s``.
+    crashes: tuple = ()
+    #: ``(worker_index, at_s, duration_s)``: worker goes silent for a window.
+    stalls: tuple = ()
+    #: ``(worker_index, at_s, factor)``: service time scales by ``factor``.
+    slowdowns: tuple = ()
+    #: Fraction of RPC replies silently dropped, in [0, 1].
+    drop_reply_fraction: float = 0.0
+
+    def __post_init__(self):
+        crashes = tuple(
+            (int(w), float(t)) for w, t in (tuple(e) for e in self.crashes)
+        )
+        stalls = tuple(
+            (int(w), float(t), float(d))
+            for w, t, d in (tuple(e) for e in self.stalls)
+        )
+        slowdowns = tuple(
+            (int(w), float(t), float(f))
+            for w, t, f in (tuple(e) for e in self.slowdowns)
+        )
+        if any(w < 0 or t < 0 for w, t in crashes):
+            raise FaultConfigError("crashes need worker >= 0 and at_s >= 0")
+        if len({w for w, _ in crashes}) != len(crashes):
+            raise FaultConfigError("at most one crash per worker")
+        if any(w < 0 or t < 0 or d <= 0 for w, t, d in stalls):
+            raise FaultConfigError(
+                "stalls need worker >= 0, at_s >= 0 and duration_s > 0"
+            )
+        if any(w < 0 or t < 0 or f < 1.0 for w, t, f in slowdowns):
+            raise FaultConfigError(
+                "slowdowns need worker >= 0, at_s >= 0 and factor >= 1"
+            )
+        object.__setattr__(self, "crashes", crashes)
+        object.__setattr__(self, "stalls", stalls)
+        object.__setattr__(self, "slowdowns", slowdowns)
+        if not 0.0 <= self.drop_reply_fraction <= 1.0:
+            raise FaultConfigError("drop_reply_fraction must be in [0, 1]")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no fleet churn is configured."""
+        return (
+            not self.crashes
+            and not self.stalls
+            and not self.slowdowns
+            and self.drop_reply_fraction == 0.0
+        )
+
+
+@dataclass(frozen=True)
 class WatchdogConfig:
     """Recovery policy of the training divergence watchdog.
 
@@ -166,6 +231,7 @@ _SECTION_TYPES = {
     "sram": SramFaultConfig,
     "chiplets": ChipletFaultConfig,
     "trace": TraceFaultConfig,
+    "fleet": FleetFaultConfig,
     "watchdog": WatchdogConfig,
 }
 
@@ -178,6 +244,7 @@ class FaultPlan:
     sram: SramFaultConfig = field(default_factory=SramFaultConfig)
     chiplets: ChipletFaultConfig = field(default_factory=ChipletFaultConfig)
     trace: TraceFaultConfig = field(default_factory=TraceFaultConfig)
+    fleet: FleetFaultConfig = field(default_factory=FleetFaultConfig)
     watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
 
     @property
@@ -187,7 +254,12 @@ class FaultPlan:
         The watchdog section is recovery policy, not an injection, so it
         is deliberately excluded: see :class:`WatchdogConfig`.
         """
-        return self.sram.is_empty and self.chiplets.is_empty and self.trace.is_empty
+        return (
+            self.sram.is_empty
+            and self.chiplets.is_empty
+            and self.trace.is_empty
+            and self.fleet.is_empty
+        )
 
     @classmethod
     def empty(cls) -> "FaultPlan":

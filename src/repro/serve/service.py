@@ -94,10 +94,15 @@ class RenderService:
         registry: SceneRegistry,
         system: MultiChipSystem = None,
         config: ServiceConfig = None,
+        cost_models: dict = None,
     ):
         self.registry = registry
         self.system = system or MultiChipSystem()
         self.config = config or ServiceConfig()
+        #: Optional ``{scene: SceneCostModel}`` priors (see
+        #: :mod:`repro.obs.costmodel`) that seed the per-(scene, renderer)
+        #: EWMA before its first measurement lands.
+        self._cost_models = dict(cost_models or {})
         self.scheduler = DynamicRayBatchScheduler(self.config.batch)
         self.admission = AdmissionController(self.config.admission)
         self.slo = SLOTracker(self.config.slo_targets)
@@ -179,14 +184,16 @@ class RenderService:
                 self._reject(request, FAILED_UNKNOWN_SCENE)
                 return
             full_spr = handle.marcher.config.max_samples
+            key = (request.scene, handle.renderer)
+            est_s_per_ray = self._s_per_ray.get(key)
+            if est_s_per_ray is None:
+                est_s_per_ray = self._seed_s_per_ray(key)
             decision = self.admission.decide(
                 request,
                 self.now_s,
                 self.scheduler.queued_rays(),
                 full_spr,
-                est_s_per_ray=self._s_per_ray.get(
-                    (request.scene, handle.renderer)
-                ),
+                est_s_per_ray=est_s_per_ray,
             )
             if not decision.admitted:
                 handle.release()
@@ -218,6 +225,26 @@ class RenderService:
             )
             if decision.degrade_level:
                 tel.metrics.counter("serve.requests.degraded").inc()
+
+    def _seed_s_per_ray(self, key: tuple) -> float:
+        """Cold-start prior for one (scene, renderer) EWMA key.
+
+        Without a prior the feasibility check is skipped until the first
+        dispatched batch, so a freshly deployed scene briefly admits
+        doomed deadline work *and* cannot be mis-rejected; with a fitted
+        cost model available the estimate starts at the profiled
+        ``sim_s_per_ray`` instead.  Models fitted under a different
+        renderer family are ignored — their costs do not transfer.
+        """
+        scene, renderer = key
+        model = self._cost_models.get(scene)
+        if model is None or model.renderer != renderer:
+            return None
+        seed = float(model.sim_s_per_ray.mean)
+        if seed <= 0.0:
+            return None
+        self._s_per_ray[key] = seed
+        return seed
 
     def _reject(self, request: RenderRequest, status: str) -> None:
         """Record a terminal pre-queue outcome and notify the client."""

@@ -24,7 +24,8 @@ def test_registry_complete():
     assert "serving_study" in runner.REGISTRY
     assert "capacity_study" in runner.REGISTRY
     assert "cross_renderer" in runner.REGISTRY
-    assert len(runner.REGISTRY) == 28
+    assert "fleet_churn" in runner.REGISTRY
+    assert len(runner.REGISTRY) == 29
 
 
 def test_unknown_experiment_raises():

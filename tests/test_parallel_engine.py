@@ -196,6 +196,112 @@ def test_pool_crash_reported():
     assert report.outcomes[0].status == "ok"  # sanity: pool path healthy
 
 
+def test_custom_backoff_policy_drives_retries(fake_registry):
+    from repro.robustness.backoff import BackoffPolicy
+
+    policy = BackoffPolicy(
+        base_s=0.0, multiplier=1.0, max_delay_s=0.0, jitter=0.0, max_retries=2
+    )
+    report = parallel.run_experiments(["_flaky"], jobs=1, backoff=policy)
+    assert report.outcomes[0].status == "ok"
+    assert report.outcomes[0].attempts == 2
+    # The policy's max_retries supersedes the legacy `retries` knob.
+    zero = BackoffPolicy(base_s=0.0, jitter=0.0, max_retries=0)
+    report = parallel.run_experiments(
+        ["_broken"], jobs=1, retries=5, backoff=zero
+    )
+    assert report.outcomes[0].status == "failed"
+    assert report.outcomes[0].attempts == 1
+
+
+class _FakeBrokenPool:
+    """Stand-in executor whose every future dies of BrokenProcessPool."""
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        future = Future()
+        future.set_exception(BrokenProcessPool("worker killed the pool"))
+        return future
+
+    def shutdown(self, wait=True):
+        pass
+
+
+def test_pool_rebuild_cap_fails_jobs_loudly(monkeypatch, caplog):
+    """A pool-killing job must stop rebuilding after the cap, not spin."""
+    import logging
+
+    from repro.parallel import engine
+
+    monkeypatch.setattr(engine, "ProcessPoolExecutor", _FakeBrokenPool)
+    with caplog.at_level(logging.ERROR, logger="repro.parallel"):
+        report = parallel.run_experiments(
+            ["fig3", "fig6"], jobs=2, retries=10, max_pool_rebuilds=2
+        )
+    by_name = {o.name: o for o in report.outcomes}
+    for name in ("fig3", "fig6"):
+        assert by_name[name].status == "failed"
+        assert "PoolRebuildLimitError" in by_name[name].error
+    # The cap bounds attempts: 1 initial + one resubmission per rebuild.
+    assert all(o.attempts <= 3 for o in report.outcomes)
+    assert any("consecutive" in r.message for r in caplog.records)
+
+
+class _FakeFlakyPool:
+    """Executor whose pool breaks on scripted (name, attempt) submissions.
+
+    ``fig3`` breaks the pool on its first submission and ``fig6`` on its
+    second; ``fig6``'s first future never completes, so the round-1
+    breakdown drains it back into the resubmission queue.  Interleaved
+    successes must reset the consecutive-rebuild streak, so the run
+    finishes clean even with ``max_pool_rebuilds=1``.
+    """
+
+    submissions = {}
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        name = args[0]
+        counts = _FakeFlakyPool.submissions
+        counts[name] = counts.get(name, 0) + 1
+        future = Future()
+        if name == "fig3" and counts[name] == 1:
+            future.set_exception(BrokenProcessPool("boom"))
+        elif name == "fig6" and counts[name] == 1:
+            pass  # pending; drained by fig3's round-1 breakdown
+        elif name == "fig6" and counts[name] == 2:
+            future.set_exception(BrokenProcessPool("boom"))
+        else:
+            future.set_result(fn(*args))
+        return future
+
+    def shutdown(self, wait=True):
+        pass
+
+
+def test_live_results_reset_rebuild_streak(monkeypatch):
+    from repro.parallel import engine
+
+    _FakeFlakyPool.submissions = {}
+    monkeypatch.setattr(engine, "ProcessPoolExecutor", _FakeFlakyPool)
+    report = parallel.run_experiments(
+        ["fig3", "fig6"], jobs=2, retries=10, max_pool_rebuilds=1
+    )
+    # Two non-consecutive breakdowns with a success between them: neither
+    # trips a cap of 1, and every job eventually completes.
+    assert all(o.status == "ok" for o in report.outcomes)
+
+
 def test_failure_does_not_poison_other_jobs(fake_registry):
     report = parallel.run_experiments(["fig3", "_broken", "fig6"], jobs=1)
     by_name = {o.name: o for o in report.outcomes}

@@ -32,6 +32,7 @@ DEFAULT_PACKAGES = (
     "repro.perf",
     "repro.obs",
     "repro.pipeline",
+    "repro.fleet",
 )
 
 # Runnable straight from a checkout: the in-tree `src/` layout sits next
