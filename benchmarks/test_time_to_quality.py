@@ -1,0 +1,32 @@
+"""Reproduce the online time-to-quality study (instant reconstruction).
+
+A live capture must become a served scene within the capture horizon at
+every scale, without the concurrent viewer workload losing its SLO and
+without a single hot-swap breaking pinned-handle bit-identity.
+"""
+
+from helpers import run_and_report
+from repro.experiments.time_to_quality import TARGET_PSNR_DB
+
+
+def test_time_to_quality(benchmark):
+    result = run_and_report(benchmark, "time_to_quality", quick=True)
+    summary = result.summary
+    assert summary["target_psnr_db"] == TARGET_PSNR_DB
+    assert summary["all_reached_target"]
+    assert summary["all_swap_proofs_ok"]
+    assert summary["exactly_once"]
+    assert summary["min_attainment"] is not None
+    assert summary["min_attainment"] > 0.5
+
+    assert len(result.rows) >= 2  # at least two scene scales
+    for row in result.rows:
+        # reached target within the capture horizon, through >= 1 gated
+        # deploy, with proofs and conservation intact
+        assert row["generations"] >= 1, row["scale"]
+        assert row["time_to_target_s"] is not None, row["scale"]
+        assert row["time_to_target_s"] <= row["horizon_s"], row["scale"]
+        assert row["final_psnr_db"] >= TARGET_PSNR_DB, row["scale"]
+        assert row["swap_proofs"] == row["generations"] - 1, row["scale"]
+        assert row["unaccounted"] == 0, row["scale"]
+        assert row["live_windows"] >= 1, row["scale"]

@@ -8,7 +8,11 @@ from .generator import (
     Primitive,
     AnalyticScene,
     SceneDataset,
+    TRAJECTORIES,
     build_dataset,
+    camera_on_sphere_poses,
+    spherical_trajectory_poses,
+    trajectory_poses,
 )
 from . import synthetic
 from . import nerf360
@@ -19,7 +23,11 @@ __all__ = [
     "Primitive",
     "AnalyticScene",
     "SceneDataset",
+    "TRAJECTORIES",
     "build_dataset",
+    "camera_on_sphere_poses",
+    "spherical_trajectory_poses",
+    "trajectory_poses",
     "synthetic",
     "nerf360",
     "SYNTHETIC_SCENES",

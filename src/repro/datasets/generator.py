@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..nerf.aabb import SceneNormalizer
-from ..nerf.camera import Camera
+from ..nerf.camera import Camera, look_at
 from ..nerf.rays import generate_rays
 from ..nerf.volume_rendering import composite
 
@@ -186,6 +186,107 @@ class SceneDataset:
             self.cameras[n_train:],
             self.images[n_train:],
         )
+
+
+def camera_on_sphere_poses(
+    n_views: int,
+    radius: float,
+    rng: np.random.Generator,
+    center=(0.0, 0.0, 0.0),
+    elevation_range=(0.15, 1.2),
+) -> list:
+    """Seeded random views on a sphere cap (BlenderNeRF's COS idiom).
+
+    Unlike :func:`~repro.nerf.camera.sphere_poses` (a deterministic
+    golden-angle sweep), every view here is an independent draw — azimuth
+    uniform over the full circle, elevation uniform over
+    ``elevation_range`` radians above the horizon — which is what a
+    handheld capture walking around an object actually produces.  The
+    stream is a pure function of ``rng``, so a capture session replays
+    bit-exactly from its seed.
+    """
+    if n_views < 1:
+        raise ValueError("need at least one view")
+    center = np.asarray(center, dtype=np.float64)
+    poses = []
+    for _ in range(n_views):
+        azimuth = rng.uniform(0.0, 2.0 * np.pi)
+        elevation = rng.uniform(*elevation_range)
+        eye = center + radius * np.array(
+            [
+                np.cos(elevation) * np.cos(azimuth),
+                np.cos(elevation) * np.sin(azimuth),
+                np.sin(elevation),
+            ]
+        )
+        poses.append(look_at(eye, center))
+    return poses
+
+
+def spherical_trajectory_poses(
+    n_views: int,
+    radius: float,
+    center=(0.0, 0.0, 0.0),
+    turns: float = 1.0,
+    elevation_range=(0.2, 1.0),
+) -> list:
+    """A smooth spherical orbit trajectory (BlenderNeRF's SOF idiom).
+
+    Cameras advance along one continuous spiral — ``turns`` full
+    azimuthal revolutions while elevation sweeps ``elevation_range`` —
+    so consecutive frames overlap heavily, the way a turntable or
+    drone-orbit capture does.  Deterministic: no RNG involved.
+    """
+    if n_views < 1:
+        raise ValueError("need at least one view")
+    center = np.asarray(center, dtype=np.float64)
+    poses = []
+    for i in range(n_views):
+        frac = i / max(n_views - 1, 1)
+        azimuth = 2.0 * np.pi * turns * frac
+        elevation = elevation_range[0] + frac * (
+            elevation_range[1] - elevation_range[0]
+        )
+        eye = center + radius * np.array(
+            [
+                np.cos(elevation) * np.cos(azimuth),
+                np.cos(elevation) * np.sin(azimuth),
+                np.sin(elevation),
+            ]
+        )
+        poses.append(look_at(eye, center))
+    return poses
+
+
+#: Named trajectory generators of the streaming capture API.  ``"cos"``
+#: (camera-on-sphere) draws seeded random views; ``"sof"`` (spherical
+#: orbit of frames) is the deterministic spiral sweep.
+TRAJECTORIES = ("cos", "sof")
+
+
+def trajectory_poses(
+    kind: str,
+    n_views: int,
+    radius: float,
+    seed: int = 0,
+    center=(0.0, 0.0, 0.0),
+) -> list:
+    """Build a named capture trajectory (see :data:`TRAJECTORIES`).
+
+    The ``"cos"`` trajectory derives its RNG from ``seed`` alone, so the
+    same ``(kind, n_views, radius, seed)`` tuple always produces the
+    same poses — the replay contract the online reconstruction session
+    relies on.
+    """
+    if kind == "cos":
+        return camera_on_sphere_poses(
+            n_views, radius, rng=np.random.default_rng(seed), center=center
+        )
+    if kind == "sof":
+        return spherical_trajectory_poses(n_views, radius, center=center)
+    raise ValueError(
+        f"unknown trajectory {kind!r}; choose from {TRAJECTORIES}"
+    )
 
 
 def build_dataset(

@@ -54,6 +54,7 @@ from . import (
     table5,
     table6,
     tensorf_adaptation,
+    time_to_quality,
     vf_scaling,
     warping_study,
 )
@@ -90,6 +91,7 @@ REGISTRY = {
     "serving_study": (serving_study, "serving: latency-throughput & SLO attainment"),
     "cross_renderer": (cross_renderer, "pipeline: ngp vs tensorf quality/speed/SLO"),
     "capacity_study": (capacity_study, "ops: cost models -> capacity plans, validated"),
+    "time_to_quality": (time_to_quality, "online: time-to-quality under live serving"),
     "warping_study": (warping_study, "Table III fn. 1: warping vs motion"),
     "dataset_stats": (dataset_stats, "DESIGN.md: substitution statistics"),
 }
@@ -457,6 +459,63 @@ def _cmd_fleet(args) -> int:
     if row is not None and not row["recovered"]:
         ok = False
     return 0 if ok else 1
+
+
+def _cmd_online(args) -> int:
+    """Run one live reconstruction session and print its report.
+
+    ``--smoke`` is the CI preset: a short seeded capture whose report
+    carries the ``online: deployed generation`` and ``unaccounted: 0``
+    lines the CI job greps.  The exit code is non-zero if no generation
+    went live, a swap proof failed, or any frame/request went
+    unaccounted.
+    """
+    from ..online import (
+        CaptureConfig,
+        OnlineConfig,
+        QualityGate,
+        ReconstructionSession,
+    )
+
+    if args.smoke:
+        frames, px, eval_every = 12, 16, 2
+    else:
+        frames, px, eval_every = args.frames, args.probe, args.eval_every
+    config = OnlineConfig(
+        capture=CaptureConfig(
+            scene=args.scene,
+            n_frames=frames,
+            rate_hz=args.capture_rate,
+            width=px,
+            height=px,
+            seed=args.seed,
+        ),
+        gate=QualityGate(target_psnr_db=args.target_psnr),
+        eval_every_frames=eval_every,
+        seed=args.seed,
+    )
+    result = ReconstructionSession(config).run()
+    if args.json:
+        payload = {
+            "deployments": result.deployments,
+            "psnr_history": result.psnr_history,
+            "time_to_target_s": result.time_to_target_s,
+            "swap_proofs": result.swap_proofs,
+            "windows": result.windows,
+            "accounting": result.accounting,
+            "ops": result.ops_panel(),
+        }
+        logger.info("%s", json.dumps(payload, indent=2, default=str))
+    else:
+        logger.info("%s", result.report())
+    proofs_ok = all(
+        p["spanned_swap"] and p["bit_identical"] for p in result.swap_proofs
+    )
+    accounted = (
+        result.accounting["frames"]["unaccounted"] == 0
+        and result.accounting["requests"]["unaccounted"] == 0
+    )
+    return 0 if result.generations > 0 and proofs_ok and accounted else 1
 
 
 def _cmd_bench(args) -> int:
@@ -936,6 +995,49 @@ def main(argv: list = None) -> int:
         action="store_true",
         help="emit fleet stats + accounting as JSON instead of text",
     )
+    online_parser = sub.add_parser(
+        "online",
+        parents=[common],
+        help="run a live reconstruction session (capture -> incremental "
+        "train -> hot-swap deploy under SLO) and print its report",
+    )
+    online_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: 12 frames at 16 px, seeded, ~5 s wall",
+    )
+    online_parser.add_argument(
+        "--scene", default="mic",
+        help="analytic capture scene (default: mic)",
+    )
+    online_parser.add_argument(
+        "--frames", type=int, default=16, metavar="N",
+        help="captured frames (default: 16)",
+    )
+    online_parser.add_argument(
+        "--capture-rate", type=float, default=8.0, metavar="HZ",
+        help="capture frame rate on the virtual clock (default: 8)",
+    )
+    online_parser.add_argument(
+        "--target-psnr", type=float, default=16.0, metavar="DB",
+        help="held-out PSNR defining 'acceptable quality' (default: 16)",
+    )
+    online_parser.add_argument(
+        "--probe", type=int, default=16, metavar="PX",
+        help="capture edge length in pixels (default: 16)",
+    )
+    online_parser.add_argument(
+        "--eval-every", type=int, default=4, metavar="N",
+        help="evaluate/maybe-deploy every N frames (default: 4)",
+    )
+    online_parser.add_argument(
+        "--seed", type=int, default=0, help="capture/training/arrival seed"
+    )
+    online_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit deployments, proofs, and windows as JSON instead of text",
+    )
     top_parser = sub.add_parser(
         "top",
         parents=[common],
@@ -1017,6 +1119,8 @@ def main(argv: list = None) -> int:
         return _cmd_serve(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "online":
+        return _cmd_online(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "plan":

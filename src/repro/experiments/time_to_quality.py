@@ -1,0 +1,127 @@
+"""Time-to-quality study: how fast a live capture becomes a served scene.
+
+The paper's "instant reconstruction" claim, measured the way an online
+service experiences it: a :class:`~repro.online.ReconstructionSession`
+streams frames, trains incrementally, and hot-swaps quality-gated
+generations into serving — and the study reports, per scene scale,
+
+* **time to target** — the capture-clock instant the first generation at
+  or above the target PSNR goes live (the user-visible "my scene is
+  ready" latency);
+* **SLO attainment during training** — windowed interactive attainment
+  of the concurrent viewer workload, which must not collapse while the
+  board also absorbs the training session's hot-swaps;
+* **swap safety** — every hot-swap's in-flight proof request must come
+  back bit-identical to its pinned generation's offline reference.
+
+Scales vary capture resolution, frame count, and scene density
+together (a denser scene at a higher resolution is strictly more work
+per step *and* per served ray), so the time-to-target trend across rows
+is the reproduction of the paper's reconstruction-latency scaling.
+"""
+
+from __future__ import annotations
+
+from ..online import (
+    CaptureConfig,
+    OnlineConfig,
+    QualityGate,
+    ReconstructionSession,
+)
+from .base import ExperimentResult
+
+#: The "acceptable quality" bar every scale must reach (held-out PSNR).
+TARGET_PSNR_DB = 16.0
+
+#: Per-mode scene scales: quick keeps CI under control, full adds a
+#: third, denser scale.  ``px`` is the capture edge length.
+SCALES = {
+    True: (
+        {"label": "small", "scene": "mic", "frames": 12, "px": 16},
+        {"label": "medium", "scene": "lego", "frames": 16, "px": 20},
+    ),
+    False: (
+        {"label": "small", "scene": "mic", "frames": 16, "px": 16},
+        {"label": "medium", "scene": "lego", "frames": 24, "px": 24},
+        {"label": "large", "scene": "ship", "frames": 32, "px": 32},
+    ),
+}
+
+
+def session_config(spec: dict, seed: int = 0) -> OnlineConfig:
+    """The study's session operating point for one scale."""
+    return OnlineConfig(
+        capture=CaptureConfig(
+            scene=spec["scene"],
+            n_frames=spec["frames"],
+            width=spec["px"],
+            height=spec["px"],
+        ),
+        gate=QualityGate(target_psnr_db=TARGET_PSNR_DB),
+        eval_every_frames=2,
+        seed=seed,
+    )
+
+
+def run_scale(spec: dict, seed: int = 0) -> dict:
+    """One scale's session, reduced to a study row."""
+    result = ReconstructionSession(session_config(spec, seed=seed)).run()
+    live = [w for w in result.windows if w["attainment"] is not None]
+    attainments = [w["attainment"] for w in live]
+    proofs = result.swap_proofs
+    return {
+        "scale": spec["label"],
+        "scene": result.scene,
+        "frames": spec["frames"],
+        "px": spec["px"],
+        "horizon_s": result.horizon_s,
+        "generations": result.generations,
+        "time_to_target_s": result.time_to_target_s,
+        "final_psnr_db": (
+            result.psnr_history[-1]["psnr_db"] if result.psnr_history else None
+        ),
+        "steps_per_s": result.steps_total / result.horizon_s,
+        "live_windows": len(live),
+        "attainment_mean": (
+            sum(attainments) / len(attainments) if attainments else None
+        ),
+        "attainment_min": min(attainments) if attainments else None,
+        "swap_proofs": len(proofs),
+        "swap_proofs_ok": all(
+            p["spanned_swap"] and p["bit_identical"] for p in proofs
+        ),
+        "unaccounted": (
+            result.accounting["frames"]["unaccounted"]
+            + result.accounting["requests"]["unaccounted"]
+        ),
+    }
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Time-to-target and serving attainment across scene scales."""
+    rows = [run_scale(spec) for spec in SCALES[quick]]
+    reached = [r for r in rows if r["time_to_target_s"] is not None]
+    summary = {
+        "target_psnr_db": TARGET_PSNR_DB,
+        "all_reached_target": len(reached) == len(rows),
+        "max_time_to_target_s": (
+            max(r["time_to_target_s"] for r in reached) if reached else None
+        ),
+        "all_swap_proofs_ok": all(r["swap_proofs_ok"] for r in rows),
+        "exactly_once": all(r["unaccounted"] == 0 for r in rows),
+        "min_attainment": min(
+            (r["attainment_min"] for r in rows if r["attainment_min"] is not None),
+            default=None,
+        ),
+    }
+    for row in rows:
+        t = row["time_to_target_s"]
+        summary[f"scale {row['scale']}"] = (
+            f"time_to_target={t:.3f}s" if t is not None else "target not reached"
+        ) + f" generations={row['generations']}"
+    return ExperimentResult(
+        experiment="time_to_quality",
+        paper_ref="extension: instant reconstruction under live serving",
+        rows=rows,
+        summary=summary,
+    )

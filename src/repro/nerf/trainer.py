@@ -240,6 +240,41 @@ class Trainer:
                 )
         return self.state
 
+    def train_steps(self, n_steps: int) -> TrainState:
+        """Run a budgeted training increment of exactly ``n_steps`` steps.
+
+        The incremental API the online reconstruction loop schedules
+        around: N calls of ``train_steps(k)`` are *bit-identical* to one
+        ``train(N * k)`` — same RNG stream, Adam moments, and occupancy
+        EMA — because a step consumes nothing outside :meth:`train_step`
+        and nothing here draws from the trainer RNG between increments.
+        (Evaluation via :meth:`eval_psnr` is also stream-neutral: it
+        renders with deterministic mid-step sampling.)
+        """
+        if n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        for _ in range(n_steps):
+            self.train_step()
+        return self.state
+
+    def add_view(self, camera, image: np.ndarray) -> int:
+        """Append one posed frame to the training set; returns the view count.
+
+        The streaming-ingest hook: subsequent ray batches draw uniformly
+        over the grown set.  The image must match the existing
+        ``(h, w, 3)`` resolution — mixed-resolution captures are not
+        supported by the flat pixel sampler.
+        """
+        image = np.asarray(image, dtype=np.float64)
+        if image.shape != self.images.shape[1:]:
+            raise ValueError(
+                f"view shape {image.shape} does not match the training set "
+                f"{self.images.shape[1:]}"
+            )
+        self.cameras = list(self.cameras) + [camera]
+        self.images = np.concatenate([self.images, image[None]], axis=0)
+        return len(self.cameras)
+
     def eval_psnr(self, cameras: list = None, images: np.ndarray = None, n_views: int = 2) -> float:
         """Average PSNR over held-out (or the first ``n_views`` training) views."""
         if cameras is None:

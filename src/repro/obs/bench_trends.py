@@ -69,10 +69,52 @@ def entry_from_payload(payload: dict, rev: str = None, timestamp: str = None) ->
     }
 
 
-def append_entry(history_path: str, entry: dict) -> None:
-    """Append one entry to the JSONL log (append-only: mode ``"a"``)."""
+def _speedup_keys(entry: dict) -> set:
+    """The ``(mode, bench)`` pairs an entry carries speedups for."""
+    return {
+        (mode, bench)
+        for mode, benches in entry.get("modes", {}).items()
+        for bench in benches
+    }
+
+
+def is_duplicate(history_path: str, entry: dict) -> bool:
+    """Whether the log already covers this entry's revision and benches.
+
+    True when some logged entry has the same ``rev`` and its
+    ``(mode, bench)`` speedup keys are a superset of the new entry's —
+    re-running the recorder on the same commit would then only repeat
+    rows the trend table already has.  Entries without a revision are
+    never duplicates (there is nothing safe to match on), and a same-rev
+    entry carrying *new* benches (e.g. after a renderer gained kernels)
+    still appends.
+    """
+    rev = entry.get("rev")
+    if not rev:
+        return False
+    new_keys = _speedup_keys(entry)
+    if not new_keys:
+        return False
+    for existing in load_history(history_path):
+        if existing.get("rev") == rev and new_keys <= _speedup_keys(existing):
+            return True
+    return False
+
+
+def append_entry(history_path: str, entry: dict, dedupe: bool = True) -> bool:
+    """Append one entry to the JSONL log (append-only: mode ``"a"``).
+
+    With ``dedupe`` (the default), an entry whose revision and benches
+    the log already covers is skipped — double-recording one commit
+    (a re-run CI job, a manual append after the hook) would otherwise
+    repeat every sparkline point.  Returns whether the entry was
+    written.
+    """
+    if dedupe and is_duplicate(history_path, entry):
+        return False
     with open(history_path, "a") as fh:
         fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return True
 
 
 def load_history(history_path: str) -> list:

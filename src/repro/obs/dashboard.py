@@ -185,12 +185,49 @@ def _fleet_section(fleet: dict) -> list:
     return lines
 
 
+def _online_section(online: dict) -> list:
+    """Online-reconstruction panel from a
+    :meth:`~repro.online.SessionResult.ops_panel` dict."""
+    trend = online.get("psnr_trend") or []
+    target = online.get("target_psnr_db")
+    time_to_target = online.get("time_to_target_s")
+    last = online.get("last_psnr_db")
+    lines = [
+        "online reconstruction",
+        (
+            f"  scene: {online.get('scene', '?')}   "
+            f"frames ingested: {online.get('frames_ingested', 0)}   "
+            f"generations deployed: {online.get('generations', 0)}   "
+            f"rollbacks: {online.get('rollbacks', 0)}"
+        ),
+        (
+            f"  train steps: {online.get('steps_total', 0)} "
+            f"({online.get('steps_per_s', 0.0):.0f} steps/s simulated)"
+        ),
+    ]
+    psnr = (
+        f"  psnr: {last:.2f} dB" if last is not None else "  psnr: (no eval yet)"
+    )
+    if target is not None:
+        psnr += f" (target {target:.1f} dB"
+        psnr += (
+            f", reached at t={time_to_target:.2f}s)"
+            if time_to_target is not None
+            else ", not reached)"
+        )
+    if trend:
+        psnr += f"   trend {bench_trends_mod.sparkline(trend)}"
+    lines.append(psnr)
+    return lines
+
+
 def render_dashboard(
     history,
     slo: dict = None,
     bench_rows: list = None,
     bench_mode: str = "full",
     fleet: dict = None,
+    online: dict = None,
     title: str = "fusion3d ops",
 ) -> str:
     """Render one dashboard frame from published telemetry.
@@ -200,7 +237,9 @@ def render_dashboard(
     :meth:`~repro.serve.slo.SLOTracker.to_payload` dict, ``bench_rows``
     the output of :func:`repro.obs.bench_trends.trend_rows`, ``fleet``
     a :meth:`~repro.fleet.FleetController.stats` dict (adds the
-    per-worker fleet panel).
+    per-worker fleet panel), ``online`` a
+    :meth:`~repro.online.SessionResult.ops_panel` dict (adds the
+    ingest/training/deploy panel of a live reconstruction session).
     """
     first, last, dt = window(history)
     head = (
@@ -213,6 +252,8 @@ def render_dashboard(
     lines.extend(_rates_section(first, last, dt))
     if fleet is not None:
         lines.extend(_fleet_section(fleet))
+    if online is not None:
+        lines.extend(_online_section(online))
     if slo is not None:
         lines.extend(_slo_section(slo))
     if bench_rows is not None:

@@ -1,0 +1,45 @@
+"""Live reconstruction service: capture → incremental train → hot-swap.
+
+The online subsystem closes the paper's loop between instant
+reconstruction and real-time rendering: a streaming capture session
+feeds an incrementally trained radiance field whose quality-gated
+snapshots hot-swap into the serving registry *while requests are being
+served*, with bit-identity proofs across every swap.  See
+``docs/online.md`` for the session lifecycle and the obligations each
+stage carries.
+"""
+
+from .capture import CaptureConfig, CapturedFrame, CaptureSession
+from .deployer import (
+    Deployer,
+    Deployment,
+    QualityGate,
+    clone_model,
+    clone_occupancy,
+)
+from .ingest import ROUTE_HOLDOUT, ROUTE_TRAIN, FrameStore, IngestConfig
+from .session import (
+    OnlineConfig,
+    ReconstructionSession,
+    SessionResult,
+)
+from .trainer_loop import IncrementalTrainerLoop
+
+__all__ = [
+    "CaptureConfig",
+    "CapturedFrame",
+    "CaptureSession",
+    "Deployer",
+    "Deployment",
+    "QualityGate",
+    "clone_model",
+    "clone_occupancy",
+    "ROUTE_HOLDOUT",
+    "ROUTE_TRAIN",
+    "FrameStore",
+    "IngestConfig",
+    "IncrementalTrainerLoop",
+    "OnlineConfig",
+    "ReconstructionSession",
+    "SessionResult",
+]

@@ -1,0 +1,113 @@
+"""Streaming capture synthesis: a posed frame source on the virtual clock.
+
+The online reconstruction loop needs what a phone or drone capture rig
+produces — a timestamped stream of posed RGB frames arriving at a fixed
+capture rate — without any camera hardware.  :class:`CaptureSession`
+synthesizes that stream from an analytic scene: poses come from the
+seeded trajectory API (:func:`repro.datasets.trajectory_poses`, the
+BlenderNeRF camera-on-sphere / spherical-orbit idioms) and pixels from
+the scene's exact ground-truth renderer, so the stream is bit-exactly
+replayable from ``(scene, trajectory, seed)`` alone.
+
+Timestamps live on the same virtual clock the serving layer bills
+hardware time against: frame ``i`` completes capture at
+``(i + 1) / rate_hz`` virtual seconds, which is when the ingest side is
+allowed to see it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets import synthetic, trajectory_poses
+from ..nerf.camera import Camera
+
+
+@dataclass(frozen=True)
+class CaptureConfig:
+    """Shape of one synthetic capture session."""
+
+    #: Analytic object scene being walked around (``repro.datasets.synthetic``).
+    scene: str = "mic"
+    n_frames: int = 16
+    #: Frames delivered per virtual second.
+    rate_hz: float = 8.0
+    width: int = 16
+    height: int = 16
+    #: Trajectory kind (see :data:`repro.datasets.TRAJECTORIES`).
+    trajectory: str = "cos"
+    #: Camera orbit radius in world units.
+    radius: float = 2.6
+    #: Dense-march steps of the ground-truth renderer.
+    gt_steps: int = 48
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_frames < 1:
+            raise ValueError("n_frames must be positive")
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One delivered frame: pose, pixels, and its capture-clock timestamp."""
+
+    index: int
+    #: Virtual second at which this frame becomes available downstream.
+    t_s: float
+    camera: Camera
+    image: np.ndarray = field(repr=False)
+
+
+class CaptureSession:
+    """A replayable posed-frame stream over an analytic scene.
+
+    Poses are fixed at construction (pure function of the config), but
+    pixels render lazily in :meth:`frames` — the ground-truth march is
+    the expensive part, and a consumer that stops early should not pay
+    for frames it never saw.
+    """
+
+    def __init__(self, config: CaptureConfig = None):
+        self.config = config or CaptureConfig()
+        cfg = self.config
+        self.scene = synthetic.make_scene(cfg.scene)
+        self.normalizer = self.scene.normalizer()
+        poses = trajectory_poses(
+            cfg.trajectory, cfg.n_frames, cfg.radius, seed=cfg.seed
+        )
+        self.cameras = [
+            Camera(
+                width=cfg.width,
+                height=cfg.height,
+                focal=1.1 * cfg.width,
+                c2w=pose,
+            )
+            for pose in poses
+        ]
+
+    def __len__(self) -> int:
+        return self.config.n_frames
+
+    @property
+    def horizon_s(self) -> float:
+        """Virtual second at which the last frame lands."""
+        return self.config.n_frames / self.config.rate_hz
+
+    def frame_time(self, index: int) -> float:
+        """Delivery timestamp of frame ``index`` (exposure completes)."""
+        return (index + 1) / self.config.rate_hz
+
+    def frames(self):
+        """Yield :class:`CapturedFrame` in delivery order, rendering lazily."""
+        for index, camera in enumerate(self.cameras):
+            image = self.scene.render(camera, n_steps=self.config.gt_steps)
+            yield CapturedFrame(
+                index=index,
+                t_s=self.frame_time(index),
+                camera=camera,
+                image=image,
+            )

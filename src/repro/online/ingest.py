@@ -1,0 +1,100 @@
+"""Frame ingest: route the capture stream into train and holdout sets.
+
+Online reconstruction has no luxury of a pre-split dataset — frames
+arrive one at a time, and the quality gate needs held-out views *now*,
+not after the capture ends.  :class:`FrameStore` applies the standard
+streaming split: every ``holdout_every``-th frame is diverted to the
+holdout set (deterministic in the frame index, so a replayed session
+splits identically), everything else grows the training set.
+
+The store also keeps the session's frame accounting: every ingested
+frame must land in exactly one of the two sets, and the ``unaccounted``
+count the session report greps for is computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .capture import CapturedFrame
+
+ROUTE_TRAIN = "train"
+ROUTE_HOLDOUT = "holdout"
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Streaming split policy."""
+
+    #: Divert every k-th frame (by capture index) to the holdout set.
+    holdout_every: int = 4
+
+    def __post_init__(self):
+        if self.holdout_every < 2:
+            raise ValueError(
+                "holdout_every must be >= 2 (1 would starve training)"
+            )
+
+
+class FrameStore:
+    """Accumulates the growing train/holdout sets of one capture session."""
+
+    def __init__(self, config: IngestConfig = None):
+        self.config = config or IngestConfig()
+        self.train_cameras = []
+        self.train_images = []
+        self.holdout_cameras = []
+        self.holdout_images = []
+        self.ingested = 0
+
+    def route_for(self, index: int) -> str:
+        """The deterministic split decision for capture index ``index``.
+
+        Frame 0 always trains (the trainer needs a first view before any
+        evaluation makes sense); thereafter every ``holdout_every``-th
+        frame is held out.
+        """
+        k = self.config.holdout_every
+        if index > 0 and index % k == 0:
+            return ROUTE_HOLDOUT
+        return ROUTE_TRAIN
+
+    def add(self, frame: CapturedFrame) -> str:
+        """Ingest one frame; returns the route it took."""
+        route = self.route_for(frame.index)
+        image = np.asarray(frame.image, dtype=np.float64)
+        if route == ROUTE_HOLDOUT:
+            self.holdout_cameras.append(frame.camera)
+            self.holdout_images.append(image)
+        else:
+            self.train_cameras.append(frame.camera)
+            self.train_images.append(image)
+        self.ingested += 1
+        return route
+
+    @property
+    def n_train(self) -> int:
+        """Training frames ingested so far."""
+        return len(self.train_cameras)
+
+    @property
+    def n_holdout(self) -> int:
+        """Held-out frames ingested so far."""
+        return len(self.holdout_cameras)
+
+    def holdout_arrays(self) -> tuple:
+        """``(cameras, images)`` of the holdout set, images stacked."""
+        if not self.holdout_images:
+            raise ValueError("no holdout frames ingested yet")
+        return self.holdout_cameras, np.stack(self.holdout_images)
+
+    def accounting(self) -> dict:
+        """Frame conservation check: ingested == train + holdout."""
+        return {
+            "ingested": self.ingested,
+            "train": self.n_train,
+            "holdout": self.n_holdout,
+            "unaccounted": self.ingested - self.n_train - self.n_holdout,
+        }

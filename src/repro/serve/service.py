@@ -120,8 +120,17 @@ class RenderService:
         #: each key starts fresh (None -> feasibility check skipped)
         #: until its own first dispatched batch.
         self._s_per_ray = {}
+        #: Keys whose EWMA was measured against a generation that has
+        #: since been hot-swapped out.  A stale estimate still serves
+        #: admission (better than skipping feasibility entirely), but the
+        #: first post-swap observation *replaces* it rather than EWMA-
+        #: blending — a retrained 2x-cost model would otherwise keep
+        #: admitting doomed deadline work for ~1/alpha dispatches.
+        self._stale_s_per_ray = set()
+        self.ewma_reblends = 0
         self.batches_dispatched = 0
         self.hardware_busy_s = 0.0
+        registry.add_deploy_listener(self._on_scene_deployed)
 
     # -- client surface --------------------------------------------------
 
@@ -226,6 +235,22 @@ class RenderService:
             if decision.degrade_level:
                 tel.metrics.counter("serve.requests.degraded").inc()
 
+    def _on_scene_deployed(self, name: str, generation: int, renderer: str) -> None:
+        """Registry deploy hook: mark the scene's cost estimates stale.
+
+        A hot-swap (``generation > 1``) replaces the weights every
+        existing per-(scene, renderer) s/ray estimate was measured
+        against.  The estimates are kept as admission priors but flagged
+        stale, so the first dispatch against the new generation replaces
+        them outright (see :meth:`_execute`) instead of EWMA-crawling
+        toward the new cost while deadline admission runs on the old one.
+        """
+        if generation <= 1:
+            return
+        for key in self._s_per_ray:
+            if key[0] == name:
+                self._stale_s_per_ray.add(key)
+
     def _seed_s_per_ray(self, key: tuple) -> float:
         """Cold-start prior for one (scene, renderer) EWMA key.
 
@@ -308,7 +333,14 @@ class RenderService:
             observed = runtime_s / batch.n_rays
             key = (batch.scene, renderer)
             previous = self._s_per_ray.get(key)
-            if previous is None:
+            if previous is None or key in self._stale_s_per_ray:
+                # First observation for the key, or first observation of
+                # a freshly hot-swapped generation: the old generation's
+                # estimate carries no information about the new weights,
+                # so snap instead of blending.
+                if key in self._stale_s_per_ray:
+                    self._stale_s_per_ray.discard(key)
+                    self.ewma_reblends += 1
                 self._s_per_ray[key] = observed
             else:
                 alpha = self.config.ewma_alpha
@@ -409,6 +441,7 @@ class RenderService:
                 self.hardware_busy_s / self.now_s if self.now_s > 0 else 0.0
             ),
             "admitted": self.admission.admitted,
+            "ewma_reblends": self.ewma_reblends,
             "degraded": self.admission.degraded,
             "shed": self.admission.shed,
             "rejected_deadline": self.admission.rejected_deadline,

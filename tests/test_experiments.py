@@ -25,7 +25,8 @@ def test_registry_complete():
     assert "capacity_study" in runner.REGISTRY
     assert "cross_renderer" in runner.REGISTRY
     assert "fleet_churn" in runner.REGISTRY
-    assert len(runner.REGISTRY) == 29
+    assert "time_to_quality" in runner.REGISTRY
+    assert len(runner.REGISTRY) == 30
 
 
 def test_unknown_experiment_raises():

@@ -101,6 +101,78 @@ def test_format_trend_table_renders_and_handles_empty():
     assert "+0.0%" in text  # at the high-water mark
 
 
+def test_append_entry_dedupes_rerecorded_revisions(tmp_path):
+    path = str(tmp_path / "history.jsonl")
+    entry = entry_from_payload(_payload(1.5), rev="abc123", timestamp="t0")
+    assert append_entry(path, entry) is True
+    # re-recording the same commit's benches is skipped...
+    rerun = entry_from_payload(_payload(1.7), rev="abc123", timestamp="t1")
+    assert append_entry(path, rerun) is False
+    assert len(load_history(path)) == 1
+    # ...unless dedupe is explicitly off
+    assert append_entry(path, rerun, dedupe=False) is True
+    assert len(load_history(path)) == 2
+
+
+def test_append_entry_dedupe_requires_a_revision(tmp_path):
+    path = str(tmp_path / "history.jsonl")
+    entry = entry_from_payload(_payload(1.5), timestamp="t0")  # rev=None
+    assert append_entry(path, entry) is True
+    assert append_entry(path, entry) is True  # nothing safe to match on
+    assert len(load_history(path)) == 2
+
+
+def test_append_entry_same_rev_with_new_benches_still_appends(tmp_path):
+    path = str(tmp_path / "history.jsonl")
+    append_entry(
+        path, entry_from_payload(_payload(1.5), rev="abc123", timestamp="t0")
+    )
+    grown = {
+        "schema": 1,
+        "modes": {
+            "full": {
+                "render_frame": {"speedup": 1.5},
+                "hash_forward": {"speedup": 1.6},
+                "tensorf_fwd_bwd": {"speedup": 40.0},  # new bench landed
+            },
+            "smoke": {"hash_forward": {"speedup": 2.0}},
+        },
+    }
+    assert append_entry(
+        path, entry_from_payload(grown, rev="abc123", timestamp="t1")
+    ) is True
+    # the superset entry now covers the original's keys: a third
+    # re-record of either shape is a duplicate
+    assert append_entry(
+        path, entry_from_payload(_payload(1.5), rev="abc123", timestamp="t2")
+    ) is False
+    assert len(load_history(path)) == 2
+
+
+def test_bench_history_cli_append_dedupes(tmp_path, capsys):
+    import sys
+
+    sys.path.insert(0, "tools")
+    try:
+        import bench_history
+    finally:
+        sys.path.pop(0)
+    payload_path = str(tmp_path / "BENCH_nerf.json")
+    history_path = str(tmp_path / "history.jsonl")
+    with open(payload_path, "w") as fh:
+        json.dump(_payload(), fh)
+    args = [
+        "append", "--payload", payload_path, "--history", history_path,
+        "--rev", "abc123", "--timestamp", "t0",
+    ]
+    assert bench_history.main(args) == 0
+    assert "recorded" in capsys.readouterr().out
+    assert bench_history.main(args) == 0  # the double-record: skipped
+    out = capsys.readouterr().out
+    assert "skipped duplicate of rev abc123" in out
+    assert len(load_history(history_path)) == 1
+
+
 # -- dashboard rendering ---------------------------------------------------
 
 
@@ -165,6 +237,36 @@ def test_render_dashboard_slo_section_tolerates_empty_class():
     assert "slo attainment" in text
     assert "interactive" in text and "batch" in text
     assert "terminal: completed=1" in text
+
+
+def test_render_dashboard_online_panel():
+    online = {
+        "scene": "mic",
+        "frames_ingested": 12,
+        "generations": 3,
+        "psnr_trend": [11.0, 14.5, 17.2],
+        "last_psnr_db": 17.2,
+        "target_psnr_db": 16.0,
+        "time_to_target_s": 1.25,
+        "steps_total": 120,
+        "steps_per_s": 80.0,
+        "rollbacks": 0,
+    }
+    text = render_dashboard([_snap(1.0, 1.0, 1.0)], online=online)
+    assert "online reconstruction" in text
+    assert "scene: mic" in text
+    assert "generations deployed: 3" in text
+    assert "psnr: 17.20 dB (target 16.0 dB, reached at t=1.25s)" in text
+    assert "trend" in text
+    # target not reached yet renders without a time
+    not_there = dict(online, time_to_target_s=None, last_psnr_db=12.0)
+    assert "not reached" in render_dashboard(
+        [_snap(1.0, 1.0, 1.0)], online=not_there
+    )
+    # and the panel is absent unless a session is supplied
+    assert "online reconstruction" not in render_dashboard(
+        [_snap(1.0, 1.0, 1.0)]
+    )
 
 
 def test_render_dashboard_embeds_bench_trends():

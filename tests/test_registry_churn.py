@@ -149,6 +149,60 @@ def test_redeploy_after_eviction_serves_again():
     assert _record(registry, "chair").refcount == 0
 
 
+def test_fifty_generation_churn_frees_parked_generations_when_drained():
+    """Sustained hot-swap churn: 50 generations, random pins on older ones.
+
+    Every parked (hot-swapped-out) generation is held by exactly its
+    live pins, frees the moment its last pin releases, and the registry
+    ends holding only the newest generation's bytes.
+    """
+    rng = np.random.default_rng(7)
+    registry = SceneRegistry()
+    pins = []
+    for gen in range(1, 51):
+        _deploy(registry, "chair", seed=gen)
+        assert _record(registry, "chair").generation == gen
+        if rng.random() < 0.4:
+            pins.append(registry.acquire("chair"))
+        # nothing unpinned ever lingers in the park
+        for record in registry._retiring:
+            assert record.refcount >= 1
+    assert registry.hot_swaps == 49
+    newest = _record(registry, "chair")
+    parked_gens = sorted(r.generation for r in registry._retiring)
+    expected = sorted(
+        h._record.generation for h in pins if h._record is not newest
+    )
+    assert parked_gens == expected
+    single_gen_bytes = registry.memory_bytes - sum(
+        r.n_bytes for r in registry._retiring
+    )
+    # release in a shuffled order: the park drains pin by pin
+    for index in rng.permutation(len(pins)):
+        pins[index].release()
+    assert registry._retiring == []
+    assert newest.refcount == 0
+    assert registry.memory_bytes == single_gen_bytes
+
+
+def test_budget_eviction_never_takes_pinned_or_newest():
+    """Under a tight budget, churned deploys only ever evict idle scenes."""
+    registry = SceneRegistry()
+    _deploy(registry, "chair", seed=0)
+    scene_bytes = registry.scenes()[0]["bytes"]
+    registry.memory_budget_bytes = int(scene_bytes * 2.5)
+    pinned = registry.acquire("chair")
+    for step, name in enumerate(["drums", "lego", "mic", "ship"], start=1):
+        _deploy(registry, name, seed=step)
+        assert "chair" in registry  # the pinned scene survives every pass
+        assert name in registry  # the just-deployed scene always lands
+        assert registry.memory_bytes <= registry.memory_budget_bytes
+    assert registry.evictions >= 3
+    assert pinned.valid and pinned._record.refcount == 1
+    pinned.release()
+    assert _record(registry, "chair").refcount == 0
+
+
 def test_churn_storm_invariants_hold():
     """Deterministic interleaving of deploy/swap/undeploy/acquire/release.
 

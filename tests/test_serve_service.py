@@ -234,6 +234,89 @@ def test_serving_study_registered():
     assert "serving_study" in runner.REGISTRY
 
 
+# -- stale cost estimates across hot-swaps ---------------------------------------
+
+
+def test_hot_swap_snaps_stale_cost_estimate_and_blocks_doomed_deadlines():
+    """A 2x-cost hot-swap must not cause a deadline-miss storm.
+
+    Regression test for the stale-EWMA fix: after a hot-swap the old
+    generation's s/ray estimate is kept only as an admission prior, and
+    the first post-swap observation *replaces* it outright.  Without the
+    snap, deadline admission would keep using the cheap generation's
+    estimate for ~1/alpha dispatches, admitting requests that are
+    already doomed under the expensive new weights.
+    """
+    from repro.nerf.occupancy import OccupancyGrid
+    from repro.serve.admission import REJECT_DEADLINE_INFEASIBLE
+    from repro.serve.loadgen import demo_model
+
+    registry, scene, service = _fresh_service()
+    camera = demo_camera(8, 8)  # 64-ray probes
+    key = (scene, "ngp")
+    for i in range(3):  # calibrate the estimate against generation 1
+        service.submit(
+            RenderRequest(
+                request_id=i, scene=scene, camera=camera,
+                arrival_s=service.now_s,
+            )
+        )
+        service.run()
+    est_old = service._s_per_ray[key]
+
+    # Hot-swap a much costlier generation: a full occupancy grid keeps
+    # every sample, so each ray bills far more board time.
+    handle = registry.acquire(scene)
+    normalizer, background = handle.normalizer, handle.background
+    handle.release()
+    registry.deploy(
+        scene,
+        model=demo_model(seed=1),
+        occupancy=OccupancyGrid(resolution=16),
+        normalizer=normalizer,
+        background=background,
+    )
+    assert key in service._stale_s_per_ray
+    assert service._s_per_ray[key] == est_old  # kept as admission prior
+
+    busy_before = service.hardware_busy_s
+    service.submit(
+        RenderRequest(
+            request_id=10, scene=scene, camera=camera,
+            arrival_s=service.now_s,
+        )
+    )
+    service.run()
+    est_new = service._s_per_ray[key]
+    observed = (service.hardware_busy_s - busy_before) / 64
+    assert service.ewma_reblends == 1
+    assert service.stats()["ewma_reblends"] == 1
+    assert key not in service._stale_s_per_ray
+    # snapped to the measurement, not EWMA-crawled toward it
+    assert est_new == pytest.approx(observed)
+    assert est_new > est_old * 1.5
+    alpha = service.config.ewma_alpha
+    assert est_new > alpha * observed + (1 - alpha) * est_old
+
+    # Deadlines sized between the stale and true cost: the stale
+    # estimate would have admitted all of them (64 * est_old < slack),
+    # dooming them to miss; the snapped estimate rejects them up front.
+    t = service.now_s
+    slack = 64 * (est_old + est_new) / 2
+    for i in range(20, 26):
+        service.submit(
+            RenderRequest(
+                request_id=i, scene=scene, camera=camera,
+                arrival_s=t, deadline_s=t + slack,
+            )
+        )
+    service.run()
+    for i in range(20, 26):
+        assert service.responses[i].status == REJECT_DEADLINE_INFEASIBLE
+    # zero admitted-then-late requests: the storm never happens
+    assert service.slo.completed == 4
+
+
 # -- cost-model admission seeding ------------------------------------------------
 
 

@@ -78,3 +78,80 @@ def test_last_batch_exposed(tiny_trainer):
     tiny_trainer.train_step()
     assert tiny_trainer.last_batch is not None
     assert tiny_trainer.last_batch.n_rays == tiny_trainer.config.batch_rays
+
+
+def _paired_trainers(tiny_model_config, mic_dataset):
+    """Two structurally identical trainers over identically seeded models."""
+    from repro.nerf.model import InstantNGPModel
+
+    config = TrainerConfig(
+        batch_rays=128, lr=5e-3, max_samples_per_ray=24,
+        occupancy_resolution=16, occupancy_interval=8,
+    )
+    return tuple(
+        Trainer(
+            InstantNGPModel(tiny_model_config, seed=0),
+            mic_dataset.cameras,
+            mic_dataset.images,
+            mic_dataset.normalizer,
+            config,
+        )
+        for _ in range(2)
+    )
+
+
+def test_train_steps_increments_match_one_run_bitwise(
+    tiny_model_config, mic_dataset
+):
+    """N calls of train_steps(k) == one train(N*k): the online contract."""
+    whole, chunked = _paired_trainers(tiny_model_config, mic_dataset)
+    whole.train(12)
+    for _ in range(4):
+        chunked.train_steps(3)
+    assert chunked.state.iteration == whole.state.iteration == 12
+    np.testing.assert_array_equal(chunked.state.losses, whole.state.losses)
+    for key, value in whole.model.parameters().items():
+        assert np.array_equal(chunked.model.parameters()[key], value), key
+    assert chunked.optimizer.step_count == whole.optimizer.step_count
+    for key in whole.optimizer._m:
+        assert np.array_equal(chunked.optimizer._m[key], whole.optimizer._m[key])
+        assert np.array_equal(chunked.optimizer._v[key], whole.optimizer._v[key])
+    assert np.array_equal(
+        chunked.occupancy.density_ema, whole.occupancy.density_ema
+    )
+    assert np.array_equal(chunked.occupancy.mask, whole.occupancy.mask)
+
+
+def test_train_steps_survives_interleaved_eval(tiny_model_config, mic_dataset):
+    """eval_psnr between increments must not perturb the training stream."""
+    plain, evaluated = _paired_trainers(tiny_model_config, mic_dataset)
+    plain.train_steps(8)
+    for _ in range(4):
+        evaluated.train_steps(2)
+        evaluated.eval_psnr(n_views=1)
+    for key, value in plain.model.parameters().items():
+        assert np.array_equal(evaluated.model.parameters()[key], value), key
+
+
+def test_train_steps_rejects_negative(tiny_trainer):
+    with pytest.raises(ValueError):
+        tiny_trainer.train_steps(-1)
+    state = tiny_trainer.train_steps(0)  # a zero budget is a no-op
+    assert state.iteration == 0
+
+
+def test_add_view_grows_training_set(tiny_trainer, mic_dataset):
+    n_before = len(tiny_trainer.cameras)
+    count = tiny_trainer.add_view(
+        mic_dataset.cameras[0], mic_dataset.images[0]
+    )
+    assert count == n_before + 1
+    assert tiny_trainer.images.shape[0] == n_before + 1
+    assert np.isfinite(tiny_trainer.train_step())
+
+
+def test_add_view_rejects_mismatched_resolution(tiny_trainer):
+    with pytest.raises(ValueError):
+        tiny_trainer.add_view(
+            tiny_trainer.cameras[0], np.zeros((4, 4, 3))
+        )

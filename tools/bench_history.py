@@ -107,9 +107,15 @@ def main(argv=None) -> int:
                 timespec="seconds"
             ),
         )
-        bench_trends.append_entry(args.history, entry)
+        appended = bench_trends.append_entry(args.history, entry)
         n = len(bench_trends.load_history(args.history))
-        print(f"recorded {args.payload} into {args.history} ({n} entries)")
+        if appended:
+            print(f"recorded {args.payload} into {args.history} ({n} entries)")
+        else:
+            print(
+                f"skipped duplicate of rev {entry['rev']} "
+                f"({args.history} already has its benches; {n} entries)"
+            )
         return 0
 
     rows = bench_trends.trend_rows(

@@ -33,6 +33,7 @@ DEFAULT_PACKAGES = (
     "repro.obs",
     "repro.pipeline",
     "repro.fleet",
+    "repro.online",
 )
 
 # Runnable straight from a checkout: the in-tree `src/` layout sits next
