@@ -144,7 +144,7 @@ def _serve_renderer(name: str, renderer, dataset, camera, n_frames: int) -> dict
     attained = interactive[0]["attained"] if interactive else float("nan")
     return {
         "s_per_ray": service.stats()["ewma_s_per_ray_by_key"].get(
-            f"{scene}/{name}"
+            f"{scene}/{name}/full"
         ),
         "slo_attained": attained,
         "p50_ms": report.row()["p50_ms"],

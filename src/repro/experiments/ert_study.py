@@ -61,7 +61,7 @@ def run(quick: bool = True) -> ExperimentResult:
         scene = synthetic.make_scene(name)
         batch, sigmas, rgbs, result = _analytic_render(scene)
         stats = termination_stats(result, batch, threshold=THRESHOLD)
-        mask = live_sample_mask(result, batch.ray_idx, batch.n_rays, THRESHOLD)
+        mask = live_sample_mask(result, THRESHOLD)
         truncated = truncate_batch(batch, result, threshold=THRESHOLD)
         result_t = composite(
             sigmas[mask], rgbs[mask], truncated.deltas, truncated.ts,

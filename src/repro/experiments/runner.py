@@ -43,6 +43,7 @@ from . import (
     fig13b,
     fig14,
     moe_scaling,
+    precision_pareto,
     scaling_cost,
     scheduler_study,
     serving_study,
@@ -86,6 +87,10 @@ REGISTRY = {
     "chiplet_scaling": (chiplet_scaling, "Sec. VIII: chiplet temporal reuse"),
     "moe_scaling": (moe_scaling, "Fig. 13(a) obs. 2: PSNR vs expert count"),
     "ert_study": (ert_study, "extension: early ray termination"),
+    "precision_pareto": (
+        precision_pareto,
+        "Table II ext: mixed-precision quality/speed/size pareto",
+    ),
     "fault_sweep": (fault_sweep, "robustness: faults & graceful degradation"),
     "fleet_churn": (fleet_churn, "fleet: SLO attainment through worker churn"),
     "serving_study": (serving_study, "serving: latency-throughput & SLO attainment"),

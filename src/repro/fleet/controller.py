@@ -339,7 +339,7 @@ class FleetController:
             self._reject(request, FAILED_UNKNOWN_SCENE)
             return
         full_spr = handle.marcher.config.max_samples
-        key = (request.scene, handle.renderer)
+        key = (request.scene, handle.renderer, handle.precision)
         est = self._s_per_ray.get(key)
         if est is None:
             est = self._seed_s_per_ray(key)
@@ -385,10 +385,15 @@ class FleetController:
         self._dispatch(entry, worker)
 
     def _seed_s_per_ray(self, key: tuple) -> float:
-        """Cold-start EWMA prior from a fitted cost model, if one fits."""
-        scene, renderer = key
+        """Cold-start EWMA prior from a fitted cost model, if one fits.
+
+        Mirrors the single-board service: models are profiled at full
+        precision under one renderer family, so mismatched renderers and
+        non-full precision keys start unseeded.
+        """
+        scene, renderer, precision = key
         model = self._cost_models.get(scene)
-        if model is None or model.renderer != renderer:
+        if model is None or model.renderer != renderer or precision != "full":
             return None
         seed = float(model.sim_s_per_ray.mean)
         if seed <= 0.0:
@@ -673,7 +678,7 @@ class FleetController:
         entry.via_hedge = rpc.hedge
         self.slo.record(request.priority, "completed", latency)
         self.completions.append((self.now_s, request.priority, latency))
-        key = (request.scene, entry.handle.renderer)
+        key = (request.scene, entry.handle.renderer, entry.handle.precision)
         if rpc.service_s > 0 and entry.n_rays > 0:
             observed = rpc.service_s / entry.n_rays
             previous = self._s_per_ray.get(key)

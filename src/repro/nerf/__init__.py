@@ -18,9 +18,10 @@ from .aabb import (
     SceneNormalizer,
     RayCubePairs,
 )
-from .occupancy import OccupancyGrid, traverse_grid
+from .occupancy import HierarchicalOccupancy, OccupancyGrid, traverse_grid
 from .sampling import RayMarcher, SamplerConfig, SampleBatch, SamplingStats
 from .hash_encoding import (
+    Fp16HashEncoding,
     HashEncoding,
     HashEncodingConfig,
     EncodingTrace,
@@ -28,7 +29,7 @@ from .hash_encoding import (
     PRIMES,
     CORNER_OFFSETS,
 )
-from .mlp import MLP, spherical_harmonics, SH_DIM
+from .mlp import MLP, InferenceMLP, Int8MLP, spherical_harmonics, SH_DIM
 from .volume_rendering import (
     composite,
     composite_backward,
@@ -50,12 +51,23 @@ from .quantization import (
     PeriodicQuantizationHook,
 )
 from .early_termination import (
+    AdaptiveStats,
     TerminationStats,
     live_sample_mask,
+    render_batch_adaptive,
+    render_batch_ert,
     termination_stats,
     truncate_batch,
     per_ray_live_counts,
     verify_color_preserved,
+)
+from .precision import (
+    FULL_PRECISION,
+    PRECISION_MODES,
+    LowPrecisionField,
+    PrecisionBudgetError,
+    PrecisionGate,
+    PrecisionReport,
 )
 from .checkpoint import save_model, load_model, deployment_payload_bytes
 from .gradcheck import check_model_gradients, GradCheckReport
@@ -87,18 +99,22 @@ __all__ = [
     "SceneNormalizer",
     "RayCubePairs",
     "OccupancyGrid",
+    "HierarchicalOccupancy",
     "traverse_grid",
     "RayMarcher",
     "SamplerConfig",
     "SampleBatch",
     "SamplingStats",
     "HashEncoding",
+    "Fp16HashEncoding",
     "HashEncodingConfig",
     "EncodingTrace",
     "hash_vertices",
     "PRIMES",
     "CORNER_OFFSETS",
     "MLP",
+    "InferenceMLP",
+    "Int8MLP",
     "spherical_harmonics",
     "SH_DIM",
     "composite",
@@ -125,11 +141,20 @@ __all__ = [
     "quantize_model_parameters",
     "PeriodicQuantizationHook",
     "TerminationStats",
+    "AdaptiveStats",
+    "render_batch_ert",
+    "render_batch_adaptive",
     "live_sample_mask",
     "termination_stats",
     "truncate_batch",
     "per_ray_live_counts",
     "verify_color_preserved",
+    "FULL_PRECISION",
+    "PRECISION_MODES",
+    "LowPrecisionField",
+    "PrecisionBudgetError",
+    "PrecisionGate",
+    "PrecisionReport",
     "save_model",
     "load_model",
     "deployment_payload_bytes",

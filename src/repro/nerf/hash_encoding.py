@@ -339,3 +339,81 @@ class HashEncoding:
         if tables.shape != self.tables.shape:
             raise ValueError("hash table shape mismatch")
         self.tables = tables
+
+
+class Fp16HashEncoding(HashEncoding):
+    """Half-precision inference snapshot of a :class:`HashEncoding`.
+
+    The feature tables are stored as ``np.float16`` — the on-chip
+    feature-SRAM format the fault injector already models
+    (:func:`repro.robustness.injection.flip_fp16_bits`) and the layout
+    :attr:`HashEncodingConfig.table_bytes_fp16` prices — at half the
+    gather traffic of the float64 training tables.  The forward gather
+    *accumulates in fp32* (the paper's mixed-precision rule: narrow
+    storage, wider accumulation), skips the :class:`EncodingTrace`
+    entirely, and returns float32 features ready for the float32 MLP
+    hot path.
+
+    Inference-only: :meth:`backward` raises.  The snapshot copies the
+    source tables, so the trainer may keep mutating them; call
+    :meth:`refresh` to re-round after an update.
+    """
+
+    def __init__(self, source: HashEncoding):
+        self.config = source.config
+        self.tables = np.asarray(source.tables, dtype=np.float16)
+        # Dequantize-on-load mirror: fp16 -> fp32 is exact, so gathering
+        # from the widened copy is numerically identical to widening each
+        # gathered corner — without paying a per-forward (L, n, 8, F)
+        # half-to-single conversion (measured ~1.5x slower than the
+        # fp16 gather it follows).  ``tables`` stays the storage truth:
+        # ``parameters()`` exposes it, fault injection flips its bits.
+        self._tables_f32 = self.tables.astype(np.float32)
+        self._level_offsets = (
+            np.arange(self.config.n_levels, dtype=np.int64)
+            * self.config.table_size
+        )
+
+    def refresh(self, source: HashEncoding = None) -> None:
+        """Re-round the fp16 tables from a (possibly updated) source.
+
+        With no ``source``, rebuilds only the fp32 gather mirror — call
+        after mutating :attr:`tables` in place (e.g. fault injection).
+        """
+        if source is not None:
+            if source.config != self.config:
+                raise ValueError("source config mismatch")
+            self.tables = np.asarray(source.tables, dtype=np.float16)
+        self._tables_f32 = self.tables.astype(np.float32)
+
+    def forward(self, points: np.ndarray) -> tuple:
+        """Encode points at inference precision: ``(features, None)``.
+
+        Same address path as :meth:`HashEncoding.forward` — the fused
+        lookup runs on float32 points, so table indices match the
+        training gather for every float32 sample buffer the render
+        pipeline produces — but the gather reads the fp16-rounded
+        feature values, accumulates the trilinear blend in fp32, and
+        builds no trace: the ``(L, n, 8)`` caches exist only to serve
+        backward and the tiling simulator, neither of which runs at
+        inference.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float32))
+        n = points.shape[0]
+        cfg = self.config
+        _, indices, weights = self._fused_lookup(points)
+        flat_tables = self._tables_f32.reshape(-1, cfg.n_features)
+        flat_indices = indices + self._level_offsets[:, None, None]
+        level_features = np.einsum(
+            "lnc,lncf->lnf", weights, flat_tables[flat_indices]
+        )
+        features = np.ascontiguousarray(
+            level_features.transpose(1, 0, 2)
+        ).reshape(n, cfg.output_dim)
+        return features, None
+
+    def backward(self, grad_features: np.ndarray, trace) -> np.ndarray:
+        raise NotImplementedError(
+            "Fp16HashEncoding is inference-only; train on the float64 "
+            "HashEncoding and refresh() the snapshot"
+        )

@@ -1,0 +1,227 @@
+"""Low-precision inference snapshots of the radiance field.
+
+The paper's mixed-precision datapath (Challenge C2) stores hash-table
+features in fp16 and MLP weights in INT8 while accumulating in wider
+formats.  This module builds that inference configuration out of a
+trained :class:`~repro.nerf.model.InstantNGPModel`:
+
+* :class:`LowPrecisionField` — an inference-only field whose hash tables
+  are fp16 (:class:`~repro.nerf.hash_encoding.Fp16HashEncoding`) and
+  whose MLPs run either float32 (mode ``"fp16"``) or dequantized INT8
+  with per-layer symmetric scales (mode ``"fp16-int8"``).  It satisfies
+  the pipeline ``Field`` contract — ``forward(positions, directions)``
+  returning ``(sigma, rgb, cache)`` — so every renderer, the serving
+  plane, and the bench harness can evaluate it without special cases.
+* :class:`PrecisionGate` — the PSNR-delta budget that decides whether a
+  low-precision configuration is allowed to replace the full-precision
+  path for a scene.
+
+Training always happens on the float64 masters; a snapshot is refreshed
+from its source model after each training burst (``refresh``), exactly
+like re-flashing an accelerator's weight SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hash_encoding import Fp16HashEncoding
+from .mlp import InferenceMLP, Int8MLP, spherical_harmonics
+from .volume_rendering import psnr
+
+#: Precision modes a snapshot can run in, cheapest last.
+PRECISION_MODES = ("fp16", "fp16-int8")
+
+#: The pipeline's name for the unquantized float64 path.
+FULL_PRECISION = "full"
+
+
+class LowPrecisionField:
+    """Inference-only fp16/INT8 snapshot of an ``InstantNGPModel``.
+
+    ``mode="fp16"`` narrows only the hash tables (fp16 storage, float32
+    accumulation); ``mode="fp16-int8"`` additionally quantizes both MLPs
+    to INT8 weights with per-layer scales.  Activations, compositing
+    inputs, and outputs are float32 throughout — the accumulator width
+    of the paper's datapath.
+    """
+
+    def __init__(self, source, mode: str = "fp16-int8"):
+        if mode not in PRECISION_MODES:
+            raise ValueError(
+                f"mode must be one of {PRECISION_MODES}, got {mode!r}"
+            )
+        for attr in ("encoding", "density_mlp", "color_mlp"):
+            if not hasattr(source, attr):
+                raise TypeError(
+                    f"{type(source).__name__} has no {attr!r}; low-precision "
+                    "snapshots need a hash-encoded NGP-shaped field"
+                )
+        if not hasattr(source.encoding, "tables"):
+            raise TypeError(
+                f"{type(source.encoding).__name__} has no hash tables; "
+                "low-precision snapshots narrow the fp16 feature SRAM of "
+                "a hash encoding (VM factor stores are not supported)"
+            )
+        self.source = source
+        self.mode = mode
+        self.config = source.config
+        self.encoding = Fp16HashEncoding(source.encoding)
+        mlp_cls = Int8MLP if mode == "fp16-int8" else InferenceMLP
+        self.density_mlp = mlp_cls(source.density_mlp)
+        self.color_mlp = mlp_cls(source.color_mlp)
+        self._density_bias = np.float32(source.config.density_bias)
+
+    @property
+    def precision(self) -> str:
+        """The pipeline precision tag this field implements."""
+        return self.mode
+
+    def refresh(self) -> None:
+        """Re-snapshot from the source model (after a training burst)."""
+        self.encoding.refresh(self.source.encoding)
+        mlp_cls = type(self.density_mlp)
+        self.density_mlp = mlp_cls(self.source.density_mlp)
+        self.color_mlp = mlp_cls(self.source.color_mlp)
+
+    def forward(self, positions: np.ndarray, directions: np.ndarray) -> tuple:
+        """Per-sample ``(sigma, rgb, None)`` at inference precision.
+
+        Mirrors ``InstantNGPModel.forward`` with float32 arithmetic and
+        no backward caches — the cache slot is always ``None``.
+        """
+        positions = np.atleast_2d(positions)
+        directions = np.atleast_2d(directions)
+        if positions.shape[0] != directions.shape[0]:
+            raise ValueError("positions and directions must align")
+        features, _ = self.encoding.forward(positions)
+        latent, _ = self.density_mlp.forward(features)
+        sigma = self._density_activation(latent[:, 0])
+        sh = spherical_harmonics(directions.astype(np.float32))
+        color_in = np.concatenate([latent, sh.astype(np.float32)], axis=-1)
+        rgb, _ = self.color_mlp.forward(color_in)
+        return sigma, rgb, None
+
+    def density(self, positions: np.ndarray) -> np.ndarray:
+        """Density only (occupancy refreshes at inference precision)."""
+        features, _ = self.encoding.forward(positions)
+        latent, _ = self.density_mlp.forward(features)
+        return self._density_activation(latent[:, 0])
+
+    def _density_activation(self, x: np.ndarray) -> np.ndarray:
+        x = x + self._density_bias
+        if self.config.density_activation == "softplus":
+            return np.logaddexp(np.float32(0.0), x)
+        if self.config.density_activation == "exp":
+            return np.exp(np.clip(x, np.float32(-15.0), np.float32(15.0)))
+        raise ValueError(
+            f"unknown density activation {self.config.density_activation!r}"
+        )
+
+    def parameters(self) -> dict:
+        """The stored (narrow) tensors, named like the source model's.
+
+        Keeping the source names means the robustness fault injector
+        classifies them the same way: ``hash_tables`` takes fp16 bit
+        flips, MLP weights take quantized-code flips.
+        """
+        params = {"hash_tables": self.encoding.tables}
+        for mlp in (self.density_mlp, self.color_mlp):
+            for i, (w, b) in enumerate(zip(mlp.weights, mlp.biases)):
+                params[f"{mlp.name}.w{i}"] = w
+                params[f"{mlp.name}.b{i}"] = b
+        return params
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes the narrow parameter store occupies.
+
+        fp16 tables plus, per MLP, either the INT8 code words (mode
+        ``"fp16-int8"``) or the float32 weights, and float32 biases.
+        """
+        total = self.encoding.tables.nbytes
+        for mlp in (self.density_mlp, self.color_mlp):
+            if isinstance(mlp, Int8MLP):
+                total += mlp.storage_bytes
+            else:
+                total += sum(w.nbytes for w in mlp.weights)
+            total += sum(b.nbytes for b in mlp.biases)
+        return total
+
+
+@dataclass(frozen=True)
+class PrecisionGate:
+    """PSNR-delta budget for admitting a low-precision configuration.
+
+    A mode passes when its render agrees with the full-precision render
+    to at least ``min_agreement_db`` PSNR *and* — when a ground-truth
+    image is supplied — its quality drop against ground truth stays
+    within ``max_delta_db``.  The two checks catch different failures:
+    agreement catches numerical blow-ups even on scenes the model fits
+    poorly; the delta keeps a mode from hiding quality loss behind an
+    already-low baseline PSNR.
+    """
+
+    max_delta_db: float = 1.0
+    min_agreement_db: float = 30.0
+
+    def __post_init__(self):
+        if self.max_delta_db < 0.0:
+            raise ValueError("max_delta_db must be non-negative")
+        if self.min_agreement_db <= 0.0:
+            raise ValueError("min_agreement_db must be positive")
+
+    def evaluate(
+        self,
+        full_image: np.ndarray,
+        lowp_image: np.ndarray,
+        ground_truth: np.ndarray = None,
+    ) -> "PrecisionReport":
+        """Measure one mode against the budget; never raises."""
+        agreement_db = psnr(lowp_image, full_image)
+        delta_db = 0.0
+        if ground_truth is not None:
+            delta_db = psnr(full_image, ground_truth) - psnr(
+                lowp_image, ground_truth
+            )
+        passed = agreement_db >= self.min_agreement_db and (
+            delta_db <= self.max_delta_db
+        )
+        return PrecisionReport(
+            agreement_db=float(agreement_db),
+            psnr_delta_db=float(delta_db),
+            passed=bool(passed),
+        )
+
+    def check(
+        self,
+        full_image: np.ndarray,
+        lowp_image: np.ndarray,
+        ground_truth: np.ndarray = None,
+        mode: str = "low-precision",
+    ) -> "PrecisionReport":
+        """Like :meth:`evaluate` but raises ``PrecisionBudgetError`` on
+        failure — the form serving and deployment call."""
+        report = self.evaluate(full_image, lowp_image, ground_truth)
+        if not report.passed:
+            raise PrecisionBudgetError(
+                f"{mode}: agreement {report.agreement_db:.2f} dB "
+                f"(floor {self.min_agreement_db}), PSNR delta "
+                f"{report.psnr_delta_db:.2f} dB (budget {self.max_delta_db})"
+            )
+        return report
+
+
+@dataclass(frozen=True)
+class PrecisionReport:
+    """Outcome of one :class:`PrecisionGate` measurement."""
+
+    agreement_db: float
+    psnr_delta_db: float
+    passed: bool
+
+
+class PrecisionBudgetError(ValueError):
+    """A low-precision mode exceeded its PSNR budget."""

@@ -31,10 +31,14 @@ def quantize_int8_fixed(values: np.ndarray, step: float = 1.0 / 16.0) -> np.ndar
     """Fixed-point INT8 quantization: the hardware storage format.
 
     Unlike :func:`quantize_int8`, the scale is a property of the number
-    format (Q3.4 by default: range +-8, step 1/16), not of the tensor —
-    matching what an INT8 weight SRAM actually stores.  Updates smaller
-    than half a step are lost entirely, which is what makes
-    quantize-every-iteration training non-convergent (paper Table II).
+    format (Q3.4 by default, step 1/16), not of the tensor — matching
+    what an INT8 weight SRAM actually stores.  Two's-complement code
+    words make the representable range *asymmetric*:
+    ``[-128 * step, 127 * step]``, i.e. ``[-8.0, +7.9375]`` for Q3.4 —
+    exactly ``-8.0`` round-trips while ``+8.0`` saturates to the largest
+    positive code (``+7.9375``).  Updates smaller than half a step are
+    lost entirely, which is what makes quantize-every-iteration training
+    non-convergent (paper Table II).
     """
     if step <= 0:
         raise ValueError("step must be positive")

@@ -42,6 +42,23 @@ def scrub_rendered_colors(colors: np.ndarray, background: float) -> np.ndarray:
     return colors
 
 
+def validate_ert_threshold(ert_threshold: float | None) -> None:
+    """Reject out-of-range ERT thresholds at the rendering entry points.
+
+    ``None`` (ERT off) is always valid; any other value must lie in the
+    open interval ``(0, 1)`` — a transmittance cutoff of 0 never fires
+    and 1 terminates every ray before its first sample.  Validating here
+    gives callers a clear ``ValueError`` instead of a failure deep
+    inside :mod:`repro.nerf.early_termination`.
+    """
+    if ert_threshold is None:
+        return
+    if not 0.0 < ert_threshold < 1.0:
+        raise ValueError(
+            f"ert_threshold must be in (0, 1) or None, got {ert_threshold!r}"
+        )
+
+
 def render_rays(
     model,
     origins: np.ndarray,
@@ -49,7 +66,7 @@ def render_rays(
     marcher: RayMarcher,
     occupancy: OccupancyGrid = None,
     background: float = 1.0,
-    ert_threshold: float = None,
+    ert_threshold: float | None = None,
 ) -> tuple:
     """Render a ray batch already expressed in unit-cube space.
 
@@ -64,6 +81,7 @@ def render_rays(
     skipped samples have no per-sample render state.  The default
     (``None``) keeps the exact, bit-reproducible full evaluation.
     """
+    validate_ert_threshold(ert_threshold)
     batch = marcher.sample(origins, directions, occupancy=occupancy)
     if len(batch) == 0:
         n = np.atleast_2d(origins).shape[0]
@@ -101,7 +119,7 @@ def render_image(
     background: float = 1.0,
     chunk: int = 8192,
     jobs: int = 1,
-    ert_threshold: float = None,
+    ert_threshold: float | None = None,
 ) -> np.ndarray:
     """Render a full image, chunked to bound peak memory.
 
@@ -119,6 +137,7 @@ def render_image(
     """
     if chunk < 1:
         raise ValueError("chunk must be positive")
+    validate_ert_threshold(ert_threshold)
     from ..parallel.chunking import parallel_map_chunks
 
     rays = generate_rays(camera)

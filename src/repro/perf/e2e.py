@@ -144,6 +144,85 @@ def bench_render_frame(smoke: bool = False) -> dict:
     return dict(timing.as_record(), renderer="ngp")
 
 
+def _bench_opaque_model(smoke: bool) -> InstantNGPModel:
+    """The render-frame bench model with matter in it.
+
+    The stock bench model keeps the library default ``density_bias=-3``
+    (untrained space reads empty), which renders a transparent scene —
+    the worst case for early termination and precisely the case where a
+    precision/sparsity fast path has nothing to skip.  Raising the bias
+    makes the untrained field read opaque, so transmittance actually
+    collapses along rays and the adaptive path exercises its
+    termination + precision-switch machinery the way it would on a
+    trained surface.
+    """
+    config = ModelConfig(
+        encoding=HashEncodingConfig(
+            n_levels=4 if smoke else 8,
+            n_features=2,
+            log2_table_size=12 if smoke else 14,
+            base_resolution=8,
+            finest_resolution=64 if smoke else 128,
+        ),
+        hidden_width=32,
+        geo_features=15,
+        density_bias=12.0,
+    )
+    return InstantNGPModel(config, seed=SEED)
+
+
+def bench_render_frame_precision(smoke: bool = False) -> dict:
+    """Full frame: default full-precision path vs the precision fast path.
+
+    Both sides render the same opaque scene through the staged
+    :class:`~repro.pipeline.renderer.Renderer` with the same marcher and
+    the same occupancy mask.  The reference is today's default: every
+    occupancy-surviving sample evaluated by the float64 field.  The
+    optimized side is the ``precision="fp16-int8"`` stage config with
+    transmittance-adaptive sampling (ERT rounds + per-ray precision
+    switch) and the hierarchical occupancy query — the tentpole
+    configuration the ``precision_pareto`` experiment quality-gates.
+    """
+    from ..nerf.occupancy import HierarchicalOccupancy
+    from ..pipeline.registry import wrap_model
+
+    dataset = _bench_dataset(smoke)
+    camera = dataset.cameras[0]
+    model = _bench_opaque_model(smoke)
+    occupancy = OccupancyGrid(resolution=16)
+
+    def run(precision: bool) -> float:
+        if precision:
+            renderer = wrap_model(
+                model,
+                marcher=RayMarcher(SamplerConfig(max_samples=32)),
+                occupancy=HierarchicalOccupancy(occupancy, factor=4),
+                ert_threshold=1e-2,
+                precision="fp16-int8",
+                switch_threshold=0.5,
+            )
+            # Small rounds so the per-ray transmittance check fires
+            # before rays terminate: at this density a surface crossing
+            # kills a ray within ~8 samples, and the precision switch
+            # only re-routes at round boundaries.
+            renderer.compositor.round_size = 4
+        else:
+            renderer = wrap_model(
+                model,
+                marcher=RayMarcher(SamplerConfig(max_samples=32)),
+                occupancy=occupancy,
+            )
+        return time_callable(
+            lambda: renderer.render_image(camera, dataset.normalizer),
+            repeats=2 if smoke else 3,
+        )
+
+    timing = PairedTiming(ref_s=run(False), opt_s=run(True))
+    return dict(
+        timing.as_record(), renderer="ngp", precision="fp16-int8+adaptive"
+    )
+
+
 def bench_tensorf_train_iteration(smoke: bool = False) -> dict:
     """One ``tensorf`` training step, averaged over a short run."""
     timing = _time_train_iteration(smoke, _bench_tensorf_model)
@@ -160,6 +239,7 @@ def bench_tensorf_render_frame(smoke: bool = False) -> dict:
 E2E_BENCHES = {
     "train_iteration": bench_train_iteration,
     "render_frame": bench_render_frame,
+    "render_frame_precision": bench_render_frame_precision,
     "tensorf_train_iteration": bench_tensorf_train_iteration,
     "tensorf_render_frame": bench_tensorf_render_frame,
 }

@@ -15,7 +15,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..nerf.hash_encoding import HashEncoding, HashEncodingConfig
+from ..nerf.model import InstantNGPModel, ModelConfig
 from ..nerf.occupancy import OccupancyGrid
+from ..nerf.precision import LowPrecisionField
 from ..nerf.tensorf import PlaneLineEncoding
 from ..nerf.volume_rendering import segment_sum
 from ..sim.trace import distribute_samples_over_pairs
@@ -131,6 +133,45 @@ def bench_tensorf_fwd_bwd(smoke: bool = False) -> dict:
     return dict(timing.as_record(), renderer="tensorf")
 
 
+def bench_precision_field_fwd(smoke: bool = False) -> dict:
+    """Field inference: float64 training forward vs the fp16/INT8
+    snapshot (:class:`~repro.nerf.precision.LowPrecisionField`).
+
+    The same sample batch through the same weights; the snapshot wins by
+    gathering half-width tables, running float32 matmuls, and building
+    no backward caches.  This is the kernel the ``precision_pareto``
+    experiment and the ``render_frame_precision`` e2e bench rest on, so
+    its ratio is what the CI bench gate defends at smoke scale.
+    """
+    config = ModelConfig(
+        encoding=HashEncodingConfig(
+            n_levels=8,
+            n_features=2,
+            log2_table_size=14,
+            base_resolution=16,
+            finest_resolution=256,
+        ),
+        hidden_width=64,
+        geo_features=16,
+    )
+    model = InstantNGPModel(config, seed=SEED)
+    lowp = LowPrecisionField(model, mode="fp16-int8")
+    rng = np.random.default_rng(SEED)
+    n = 2_000 if smoke else 20_000
+    # float32 buffers, as the ray marcher hands both paths in the
+    # rendering pipeline.
+    points = rng.random((n, 3)).astype(np.float32)
+    directions = rng.normal(size=(n, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    directions = directions.astype(np.float32)
+    timing = time_pair(
+        lambda: model.forward(points, directions),
+        lambda: lowp.forward(points, directions),
+        repeats=3 if smoke else 5,
+    )
+    return dict(timing.as_record(), renderer="ngp", precision=lowp.precision)
+
+
 def bench_scatter_add(smoke: bool = False) -> dict:
     """Duplicate-heavy segment sum: bincount columns vs ``np.add.at``."""
     rng = np.random.default_rng(SEED)
@@ -192,6 +233,7 @@ KERNEL_BENCHES = {
     "hash_fwd_bwd": bench_hash_fwd_bwd,
     "tensorf_forward": bench_tensorf_forward,
     "tensorf_fwd_bwd": bench_tensorf_fwd_bwd,
+    "precision_field_fwd": bench_precision_field_fwd,
     "scatter_add": bench_scatter_add,
     "occupancy_init": bench_occupancy_init,
     "trace_pair_durations": bench_trace_pair_durations,

@@ -19,10 +19,11 @@ from ..nerf.hash_encoding import HashEncodingConfig
 from ..nerf.model import InstantNGPModel, ModelConfig
 from ..nerf.moe import MoENeRF
 from ..nerf.occupancy import OccupancyGrid
+from ..nerf.precision import FULL_PRECISION, LowPrecisionField
 from ..nerf.sampling import RayMarcher, SamplerConfig
 from ..nerf.tensorf import DenseGridField, TensoRFConfig, TensoRFModel
 from .renderer import Renderer
-from .stages import OccupancySampler, VolumeCompositor
+from .stages import OccupancySampler, PrecisionCompositor, VolumeCompositor
 
 
 class UnknownRendererError(KeyError):
@@ -32,18 +33,49 @@ class UnknownRendererError(KeyError):
 def _split_common(config: dict) -> tuple:
     """Pop the stage-assembly keys shared by every factory.
 
-    Returns ``(model_config, max_samples, background, ert_threshold)``;
-    what remains in ``model_config`` is the field's own hyper-parameter
-    dict.
+    Returns ``(model_config, max_samples, background, ert_threshold,
+    precision, switch_threshold)``; what remains in ``model_config`` is
+    the field's own hyper-parameter dict.  ``precision`` is ``"full"``
+    (the default), ``"fp16"``, or ``"fp16-int8"``;
+    ``switch_threshold`` enables transmittance-adaptive precision on top
+    of a non-full mode.
     """
     cfg = dict(config or {})
     max_samples = cfg.pop("max_samples", 64)
     background = cfg.pop("background", 1.0)
     ert_threshold = cfg.pop("ert_threshold", None)
-    return cfg, max_samples, background, ert_threshold
+    precision = cfg.pop("precision", FULL_PRECISION) or FULL_PRECISION
+    switch_threshold = cfg.pop("switch_threshold", None)
+    return cfg, max_samples, background, ert_threshold, precision, switch_threshold
 
 
-def _assemble(name, model, max_samples, background, ert_threshold) -> Renderer:
+def _precision_compositor(
+    model, ert_threshold, precision, switch_threshold
+):
+    """The compositing stage for a precision mode (and its guards)."""
+    if precision == FULL_PRECISION:
+        if switch_threshold is not None:
+            raise ValueError(
+                "switch_threshold needs a low-precision mode "
+                '(precision="fp16" or "fp16-int8")'
+            )
+        return VolumeCompositor(ert_threshold)
+    return PrecisionCompositor(
+        LowPrecisionField(model, mode=precision),
+        ert_threshold=ert_threshold,
+        switch_threshold=switch_threshold,
+    )
+
+
+def _assemble(
+    name,
+    model,
+    max_samples,
+    background,
+    ert_threshold,
+    precision=FULL_PRECISION,
+    switch_threshold=None,
+) -> Renderer:
     """Standard stage assembly shared by the stock factories."""
     return Renderer(
         name,
@@ -51,8 +83,11 @@ def _assemble(name, model, max_samples, background, ert_threshold) -> Renderer:
         sampler=OccupancySampler(
             RayMarcher(SamplerConfig(max_samples=max_samples))
         ),
-        compositor=VolumeCompositor(ert_threshold),
+        compositor=_precision_compositor(
+            model, ert_threshold, precision, switch_threshold
+        ),
         background=background,
+        precision=precision,
     )
 
 
@@ -62,9 +97,10 @@ def _build_ngp(config: dict, seed: int) -> Renderer:
     Config keys: ``encoding`` (a
     :class:`~repro.nerf.hash_encoding.HashEncodingConfig` kwargs dict),
     any :class:`~repro.nerf.model.ModelConfig` field, plus the shared
-    ``max_samples`` / ``background`` / ``ert_threshold``.
+    ``max_samples`` / ``background`` / ``ert_threshold`` /
+    ``precision`` / ``switch_threshold``.
     """
-    cfg, max_samples, background, ert = _split_common(config)
+    cfg, max_samples, background, ert, precision, switch = _split_common(config)
     encoding = cfg.pop("encoding", None)
     model_config = ModelConfig(
         encoding=(
@@ -75,7 +111,7 @@ def _build_ngp(config: dict, seed: int) -> Renderer:
         **cfg,
     )
     model = InstantNGPModel(model_config, seed=seed)
-    return _assemble("ngp", model, max_samples, background, ert)
+    return _assemble("ngp", model, max_samples, background, ert, precision, switch)
 
 
 def _build_tensorf(config: dict, seed: int) -> Renderer:
@@ -83,11 +119,13 @@ def _build_tensorf(config: dict, seed: int) -> Renderer:
 
     Config keys: any :class:`~repro.nerf.tensorf.TensoRFConfig` field,
     plus the shared ``max_samples`` / ``background`` /
-    ``ert_threshold``.
+    ``ert_threshold`` / ``precision`` / ``switch_threshold`` (though
+    non-full precision rejects VM fields — snapshots need a hash
+    encoding).
     """
-    cfg, max_samples, background, ert = _split_common(config)
+    cfg, max_samples, background, ert, precision, switch = _split_common(config)
     model = TensoRFModel(TensoRFConfig(**cfg), seed=seed)
-    return _assemble("tensorf", model, max_samples, background, ert)
+    return _assemble("tensorf", model, max_samples, background, ert, precision, switch)
 
 
 class RendererRegistry:
@@ -153,9 +191,12 @@ def renderer_name_for(model) -> str:
     Used wherever a bare model crosses a renderer-tagged boundary (scene
     deployment, checkpoint loads): ``InstantNGPModel`` / ``MoENeRF`` map
     to ``"ngp"``, ``TensoRFModel`` / ``DenseGridField`` to
-    ``"tensorf"``, and anything unrecognized falls back to its lowered
-    type name so tags stay stable rather than raising.
+    ``"tensorf"``, a :class:`~repro.nerf.precision.LowPrecisionField`
+    to its source model's family, and anything unrecognized falls back
+    to its lowered type name so tags stay stable rather than raising.
     """
+    if isinstance(model, LowPrecisionField):
+        return renderer_name_for(model.source)
     for model_type, name in _MODEL_RENDERERS:
         if isinstance(model, model_type):
             return name
@@ -169,21 +210,31 @@ def wrap_model(
     occupancy: OccupancyGrid = None,
     background: float = 1.0,
     ert_threshold: float = None,
+    precision: str = FULL_PRECISION,
+    switch_threshold: float = None,
 ) -> Renderer:
     """Lift an existing model into a staged :class:`Renderer`.
 
     The inverse of "construct by name": takes a trained (or in-training)
     field plus its serving state and assembles the standard stage stack
-    around it.  ``name`` defaults to :func:`renderer_name_for`.
+    around it.  ``name`` defaults to :func:`renderer_name_for`.  A
+    non-full ``precision`` snapshots the model into a
+    :class:`~repro.nerf.precision.LowPrecisionField` and composites
+    through it (adaptively, when ``switch_threshold`` is set); the model
+    itself stays the renderer's trainable field.
     """
+    precision = precision or FULL_PRECISION
     return Renderer(
         name or renderer_name_for(model),
         model,
         sampler=OccupancySampler(
             marcher or RayMarcher(SamplerConfig()), occupancy
         ),
-        compositor=VolumeCompositor(ert_threshold),
+        compositor=_precision_compositor(
+            model, ert_threshold, precision, switch_threshold
+        ),
         background=background,
+        precision=precision,
     )
 
 

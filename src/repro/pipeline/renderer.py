@@ -39,12 +39,16 @@ class Renderer:
         sampler: Sampler = None,
         compositor: Compositor = None,
         background: float = 1.0,
+        precision: str = "full",
     ):
         self.name = name
         self.field = field
         self.sampler = sampler or OccupancySampler()
         self.compositor = compositor or VolumeCompositor()
         self.background = background
+        #: Inference precision tag (``"full"``, ``"fp16"``,
+        #: ``"fp16-int8"``); serving keys its admission EWMA on it.
+        self.precision = precision
 
     @property
     def encoding(self):

@@ -168,3 +168,66 @@ class VolumeCompositor(Compositor):
             background=background,
         )
         return result.colors, result
+
+
+class PrecisionCompositor(VolumeCompositor):
+    """Compositing through a low-precision field snapshot.
+
+    Holds a :class:`~repro.nerf.precision.LowPrecisionField` built from
+    the renderer's full-precision field and picks one of three regimes:
+
+    * ``switch_threshold`` set — transmittance-adaptive rendering
+      (:func:`~repro.nerf.early_termination.render_batch_adaptive`):
+      the *full* field evaluates each ray until its transmittance drops
+      below ``switch_threshold``, the snapshot evaluates the occluded
+      tail.  Adaptive rendering is inherently round-based, so an ERT
+      threshold always applies (``ert_threshold`` or the library default
+      ``1e-3``).
+    * ``ert_threshold`` only — ERT rendering entirely on the snapshot.
+    * neither — one snapshot forward over the batch plus the exact
+      segmented composite.
+
+    ``result`` is a per-sample ``RenderResult`` only in the last regime,
+    matching :class:`VolumeCompositor`'s contract.
+    """
+
+    #: ERT threshold adaptive rendering falls back to when none is set.
+    DEFAULT_ERT = 1e-3
+
+    def __init__(
+        self,
+        lowp_field,
+        ert_threshold: float | None = None,
+        switch_threshold: float | None = None,
+        round_size: int = 32,
+    ):
+        super().__init__(ert_threshold)
+        self.lowp_field = lowp_field
+        self.switch_threshold = switch_threshold
+        self.round_size = round_size
+
+    @property
+    def precision(self) -> str:
+        """The snapshot's precision tag (``"fp16"`` / ``"fp16-int8"``)."""
+        return self.lowp_field.precision
+
+    def render(self, field: Field, batch: SampleBatch, background: float) -> tuple:
+        """Composite one sample batch at inference precision."""
+        if self.switch_threshold is not None:
+            from ..nerf.early_termination import render_batch_adaptive
+
+            colors, _ = render_batch_adaptive(
+                field,
+                self.lowp_field,
+                batch,
+                background=background,
+                threshold=(
+                    self.ert_threshold
+                    if self.ert_threshold is not None
+                    else self.DEFAULT_ERT
+                ),
+                switch_threshold=self.switch_threshold,
+                round_size=self.round_size,
+            )
+            return colors, None
+        return super().render(self.lowp_field, batch, background)

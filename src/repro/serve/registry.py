@@ -65,8 +65,12 @@ class SceneRecord:
     #: caller) rather than the permissive keep-everything fallback.
     warmed: bool = True
     #: Renderer family of the deployed model (``repro.pipeline`` name);
-    #: the scheduler/admission cost estimates key on (scene, renderer).
+    #: the scheduler/admission cost estimates key on
+    #: (scene, renderer, precision).
     renderer: str = "ngp"
+    #: Inference precision of the deployed model (``"full"``, ``"fp16"``,
+    #: ``"fp16-int8"``); the third admission-EWMA key component.
+    precision: str = "full"
 
 
 class SceneHandle:
@@ -132,6 +136,11 @@ class SceneHandle:
         """Renderer family of the pinned generation (hot-swaps may
         change it, so in-flight requests read their pinned tag)."""
         return self._record.renderer
+
+    @property
+    def precision(self) -> str:
+        """Inference precision of the pinned generation."""
+        return self._record.precision
 
     def release(self) -> None:
         """Drop the pin; frees the record when its refcount drains."""
@@ -226,6 +235,7 @@ class SceneRegistry:
                 "name": r.name,
                 "generation": r.generation,
                 "renderer": r.renderer,
+                "precision": r.precision,
                 "bytes": r.n_bytes,
                 "refcount": r.refcount,
                 "warmed": r.warmed,
@@ -246,6 +256,7 @@ class SceneRegistry:
         background: float = 1.0,
         max_samples_per_ray: int = None,
         renderer: str = None,
+        precision: str = None,
     ) -> dict:
         """Deploy (or hot-swap) a scene; returns its summary dict.
 
@@ -264,8 +275,12 @@ class SceneRegistry:
         when omitted it is inferred from the model type via
         :func:`repro.pipeline.registry.renderer_name_for`.  A hot-swap
         may change the tag (e.g. redeploying an ``ngp`` scene as
-        ``tensorf``); per-(scene, renderer) cost estimates downstream
-        key on it.
+        ``tensorf``); per-(scene, renderer, precision) cost estimates
+        downstream key on it.  ``precision`` likewise defaults to the
+        model's own tag (``model.precision`` when present, else
+        ``"full"``) — deploy a
+        :class:`~repro.nerf.precision.LowPrecisionField` and the record
+        is tagged ``"fp16"`` / ``"fp16-int8"`` automatically.
         """
         if checkpoint is not None:
             loaded_model, loaded_occupancy, loaded_normalizer = load_scene(checkpoint)
@@ -297,6 +312,7 @@ class SceneRegistry:
             n_bytes=_scene_bytes(model, occupancy),
             warmed=warmed,
             renderer=renderer or renderer_name_for(model),
+            precision=precision or getattr(model, "precision", "full"),
         )
         previous = self._records.get(name)
         if previous is not None:

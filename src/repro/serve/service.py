@@ -100,8 +100,8 @@ class RenderService:
         self.system = system or MultiChipSystem()
         self.config = config or ServiceConfig()
         #: Optional ``{scene: SceneCostModel}`` priors (see
-        #: :mod:`repro.obs.costmodel`) that seed the per-(scene, renderer)
-        #: EWMA before its first measurement lands.
+        #: :mod:`repro.obs.costmodel`) that seed the per-(scene,
+        #: renderer, precision) EWMA before its first measurement lands.
         self._cost_models = dict(cost_models or {})
         self.scheduler = DynamicRayBatchScheduler(self.config.batch)
         self.admission = AdmissionController(self.config.admission)
@@ -114,11 +114,13 @@ class RenderService:
         #: request_id -> RenderResponse once terminal.
         self.responses = {}
         #: EWMA of delivered seconds per queued ray, keyed per
-        #: (scene, renderer).  Renderer families differ in cost by
-        #: orders of magnitude, so a shared estimate would let a slow
-        #: renderer poison a fast one's deadline-feasibility checks;
-        #: each key starts fresh (None -> feasibility check skipped)
-        #: until its own first dispatched batch.
+        #: (scene, renderer, precision).  Renderer families differ in
+        #: cost by orders of magnitude — and a low-precision deploy of
+        #: the same scene renders materially faster than its full
+        #: sibling — so a shared estimate would let a slow datapath
+        #: poison a fast one's deadline-feasibility checks; each key
+        #: starts fresh (None -> feasibility check skipped) until its
+        #: own first dispatched batch.
         self._s_per_ray = {}
         #: Keys whose EWMA was measured against a generation that has
         #: since been hot-swapped out.  A stale estimate still serves
@@ -193,7 +195,7 @@ class RenderService:
                 self._reject(request, FAILED_UNKNOWN_SCENE)
                 return
             full_spr = handle.marcher.config.max_samples
-            key = (request.scene, handle.renderer)
+            key = (request.scene, handle.renderer, handle.precision)
             est_s_per_ray = self._s_per_ray.get(key)
             if est_s_per_ray is None:
                 est_s_per_ray = self._seed_s_per_ray(key)
@@ -239,8 +241,8 @@ class RenderService:
         """Registry deploy hook: mark the scene's cost estimates stale.
 
         A hot-swap (``generation > 1``) replaces the weights every
-        existing per-(scene, renderer) s/ray estimate was measured
-        against.  The estimates are kept as admission priors but flagged
+        existing per-(scene, renderer, precision) s/ray estimate was
+        measured against.  The estimates are kept as admission priors but flagged
         stale, so the first dispatch against the new generation replaces
         them outright (see :meth:`_execute`) instead of EWMA-crawling
         toward the new cost while deadline admission runs on the old one.
@@ -252,18 +254,22 @@ class RenderService:
                 self._stale_s_per_ray.add(key)
 
     def _seed_s_per_ray(self, key: tuple) -> float:
-        """Cold-start prior for one (scene, renderer) EWMA key.
+        """Cold-start prior for one (scene, renderer, precision) EWMA key.
 
         Without a prior the feasibility check is skipped until the first
         dispatched batch, so a freshly deployed scene briefly admits
         doomed deadline work *and* cannot be mis-rejected; with a fitted
         cost model available the estimate starts at the profiled
         ``sim_s_per_ray`` instead.  Models fitted under a different
-        renderer family are ignored — their costs do not transfer.
+        renderer family are ignored — their costs do not transfer — and
+        so are non-full precision keys: cost models are profiled on the
+        full-precision datapath, and seeding a fast low-precision deploy
+        with a slow full-precision estimate would mis-reject feasible
+        deadline work until the first real measurement lands.
         """
-        scene, renderer = key
+        scene, renderer, precision = key
         model = self._cost_models.get(scene)
-        if model is None or model.renderer != renderer:
+        if model is None or model.renderer != renderer or precision != "full":
             return None
         seed = float(model.sim_s_per_ray.mean)
         if seed <= 0.0:
@@ -297,6 +303,7 @@ class RenderService:
         finished = []
         trace = None
         renderer = None
+        precision = None
         with tel.tracer.span(
             "serve.dispatch",
             scene=batch.scene,
@@ -312,6 +319,7 @@ class RenderService:
                     continue
                 trace = active.handle.trace
                 renderer = active.handle.renderer
+                precision = active.handle.precision
                 colors, samples, _ = render_rays(
                     active.handle.model,
                     active.origins[item.start : item.stop],
@@ -331,7 +339,7 @@ class RenderService:
         self.batches_dispatched += 1
         if runtime_s > 0 and batch.n_rays > 0 and renderer is not None:
             observed = runtime_s / batch.n_rays
-            key = (batch.scene, renderer)
+            key = (batch.scene, renderer, precision)
             previous = self._s_per_ray.get(key)
             if previous is None or key in self._stale_s_per_ray:
                 # First observation for the key, or first observation of
@@ -453,8 +461,10 @@ class RenderService:
                 else None
             ),
             "ewma_s_per_ray_by_key": {
-                f"{scene}/{renderer}": value
-                for (scene, renderer), value in sorted(self._s_per_ray.items())
+                f"{scene}/{renderer}/{precision}": value
+                for (scene, renderer, precision), value in sorted(
+                    self._s_per_ray.items()
+                )
             },
         }
 

@@ -63,7 +63,7 @@ def test_ert_terminates_behind_opaque_wall(opaque_batch):
 def test_ert_mask_is_a_per_ray_prefix(opaque_batch):
     batch, sigmas, rgbs = opaque_batch
     result = _render(batch, sigmas, rgbs)
-    mask = live_sample_mask(result, batch.ray_idx, batch.n_rays)
+    mask = live_sample_mask(result)
     # Once terminated, a ray never resumes (monotone prefix property).
     flips = np.diff(mask.astype(int))
     assert np.all(flips <= 0)
@@ -73,7 +73,7 @@ def test_ert_preserves_colors(opaque_batch):
     batch, sigmas, rgbs = opaque_batch
     result = _render(batch, sigmas, rgbs)
     truncated = truncate_batch(batch, result, threshold=1e-3)
-    mask = live_sample_mask(result, batch.ray_idx, batch.n_rays)
+    mask = live_sample_mask(result)
     result_t = _render(truncated, sigmas[mask], rgbs[mask])
     assert verify_color_preserved(result, result_t) < 1e-3
 
@@ -90,7 +90,7 @@ def test_ert_per_ray_counts(opaque_batch):
     batch, sigmas, rgbs = opaque_batch
     result = _render(batch, sigmas, rgbs)
     counts = per_ray_live_counts(result, batch)
-    mask = live_sample_mask(result, batch.ray_idx, batch.n_rays)
+    mask = live_sample_mask(result)
     assert counts.sum() == mask.sum()
 
 
@@ -98,9 +98,9 @@ def test_ert_threshold_validation(opaque_batch):
     batch, sigmas, rgbs = opaque_batch
     result = _render(batch, sigmas, rgbs)
     with pytest.raises(ValueError):
-        live_sample_mask(result, batch.ray_idx, batch.n_rays, threshold=0.0)
+        live_sample_mask(result, threshold=0.0)
     with pytest.raises(ValueError):
-        live_sample_mask(result, batch.ray_idx, batch.n_rays, threshold=1.0)
+        live_sample_mask(result, threshold=1.0)
 
 
 # -- checkpointing ----------------------------------------------------------------

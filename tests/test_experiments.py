@@ -26,7 +26,7 @@ def test_registry_complete():
     assert "cross_renderer" in runner.REGISTRY
     assert "fleet_churn" in runner.REGISTRY
     assert "time_to_quality" in runner.REGISTRY
-    assert len(runner.REGISTRY) == 30
+    assert len(runner.REGISTRY) == 31
 
 
 def test_unknown_experiment_raises():

@@ -107,7 +107,7 @@ def test_chiplet_config_validation():
 def test_registry_includes_extensions():
     for name in ("vf_scaling", "scheduler_study", "chiplet_scaling", "moe_scaling"):
         assert name in runner.REGISTRY
-    assert len(runner.REGISTRY) == 30
+    assert len(runner.REGISTRY) == 31
 
 
 def test_vf_scaling_experiment():

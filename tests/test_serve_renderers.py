@@ -121,7 +121,7 @@ def test_slow_renderer_estimate_does_not_poison_other_renderer():
     """
     service, ngp_scene, vm_scene = _two_renderer_service()
     # One observed second-per-ray from a pathologically slow renderer.
-    service._s_per_ray[(vm_scene, "tensorf")] = 1.0e3
+    service._s_per_ray[(vm_scene, "tensorf", "full")] = 1.0e3
     # The ngp key has no estimate yet, so feasibility cannot be judged
     # -- the request must be admitted and complete, not rejected.
     assert (
@@ -142,8 +142,8 @@ def test_ewma_tracked_per_scene_and_renderer_key():
     run_closed_loop(service, ngp_scene, n_frames=1, camera=camera)
     run_closed_loop(service, vm_scene, n_frames=1, camera=camera)
     by_key = service.stats()["ewma_s_per_ray_by_key"]
-    assert f"{ngp_scene}/ngp" in by_key
-    assert f"{vm_scene}/tensorf" in by_key
+    assert f"{ngp_scene}/ngp/full" in by_key
+    assert f"{vm_scene}/tensorf/full" in by_key
     assert all(v > 0 for v in by_key.values())
     assert service.stats()["ewma_s_per_ray"] == pytest.approx(
         sum(by_key.values()) / len(by_key)

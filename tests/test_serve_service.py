@@ -253,7 +253,7 @@ def test_hot_swap_snaps_stale_cost_estimate_and_blocks_doomed_deadlines():
 
     registry, scene, service = _fresh_service()
     camera = demo_camera(8, 8)  # 64-ray probes
-    key = (scene, "ngp")
+    key = (scene, "ngp", "full")
     for i in range(3):  # calibrate the estimate against generation 1
         service.submit(
             RenderRequest(
@@ -372,7 +372,7 @@ def test_cost_model_prior_blends_with_first_observation(registry, scenes):
         )
     )
     service.run()
-    key = (scenes[0], "ngp")
+    key = (scenes[0], "ngp", "full")
     # the first measurement EWMA-corrects the prior instead of being
     # discarded (prior counts as the "previous" estimate)...
     assert service.responses[0].completed

@@ -34,6 +34,7 @@ DEFAULT_PACKAGES = (
     "repro.pipeline",
     "repro.fleet",
     "repro.online",
+    "repro.nerf.precision",
 )
 
 # Runnable straight from a checkout: the in-tree `src/` layout sits next
